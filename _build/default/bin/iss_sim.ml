@@ -1,0 +1,209 @@
+(* Command-line front end for the ISS simulator.
+
+   Examples:
+     iss_sim run --system iss-pbft -n 32 --rate 16400 --duration 60
+     iss_sim run --system single-raft -n 16 --rate 4000 --crash 3@10
+     iss_sim peak --system iss-hotstuff -n 128 --duration 20
+     iss_sim topology *)
+
+open Cmdliner
+
+(* Poor-man's sampling profiler: ISS_PROFILE=1 samples the call stack on a
+   virtual-time interval timer and dumps the hottest frames at exit.  Only
+   for development; OCaml 5 dropped gprof support. *)
+let setup_profiler () =
+  if Sys.getenv_opt "ISS_PROFILE" <> None then begin
+    let samples : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+    let total = ref 0 in
+    Sys.set_signal Sys.sigvtalrm
+      (Sys.Signal_handle
+         (fun _ ->
+           incr total;
+           let stack = Printexc.get_callstack 8 in
+           let slots = Printexc.backtrace_slots stack in
+           match slots with
+           | Some slots ->
+               Array.iteri
+                 (fun depth slot ->
+                   if depth = 1 then
+                     match Printexc.Slot.location slot with
+                     | Some loc ->
+                         let key = Printf.sprintf "%s:%d" loc.Printexc.filename loc.Printexc.line_number in
+                         Hashtbl.replace samples key
+                           (1 + Option.value ~default:0 (Hashtbl.find_opt samples key))
+                     | None -> ())
+                 slots
+           | None -> ()));
+    ignore
+      (Unix.setitimer Unix.ITIMER_VIRTUAL { Unix.it_interval = 0.001; it_value = 0.001 });
+    at_exit (fun () ->
+        let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) samples [] in
+        let all = List.sort (fun (_, a) (_, b) -> compare b a) all in
+        Printf.eprintf "--- profile: %d samples ---\n" !total;
+        List.iteri (fun i (k, v) -> if i < 30 then Printf.eprintf "%8d  %s\n" v k) all)
+  end
+
+let system_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "iss-pbft" -> Ok (Runner.Cluster.Iss Core.Config.PBFT)
+    | "iss-hotstuff" -> Ok (Runner.Cluster.Iss Core.Config.HotStuff)
+    | "iss-raft" -> Ok (Runner.Cluster.Iss Core.Config.Raft)
+    | "single-pbft" | "pbft" -> Ok (Runner.Cluster.Single Core.Config.PBFT)
+    | "single-hotstuff" | "hotstuff" -> Ok (Runner.Cluster.Single Core.Config.HotStuff)
+    | "single-raft" | "raft" -> Ok (Runner.Cluster.Single Core.Config.Raft)
+    | "mir" | "mir-bft" | "mirbft" -> Ok Runner.Cluster.Mir
+    | other -> Error (`Msg (Printf.sprintf "unknown system %S" other))
+  in
+  let print fmt s = Format.pp_print_string fmt (Runner.Cluster.system_name s) in
+  Arg.conv (parse, print)
+
+let policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "simple" -> Ok Core.Config.Simple
+    | "backoff" -> Ok Core.Config.Backoff
+    | "blacklist" -> Ok Core.Config.Blacklist
+    | "straggler-aware" | "straggler_aware" -> Ok Core.Config.Straggler_aware
+    | other -> Error (`Msg (Printf.sprintf "unknown policy %S" other))
+  in
+  let print fmt p = Format.pp_print_string fmt (Core.Config.policy_name p) in
+  Arg.conv (parse, print)
+
+let fault_conv =
+  (* "3@10" = crash node 3 at t=10s; "3@end" = epoch-end crash;
+     "straggler:3" = node 3 is a Byzantine straggler. *)
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "straggler"; node ] -> (
+        match int_of_string_opt node with
+        | Some node -> Ok (Runner.Experiment.Straggler node)
+        | None -> Error (`Msg "straggler:<node>"))
+    | _ -> (
+        match String.split_on_char '@' s with
+        | [ node; "end" ] -> (
+            match int_of_string_opt node with
+            | Some node -> Ok (Runner.Experiment.Crash_epoch_end node)
+            | None -> Error (`Msg "crash spec: <node>@end"))
+        | [ node; at ] -> (
+            match (int_of_string_opt node, float_of_string_opt at) with
+            | Some node, Some at -> Ok (Runner.Experiment.Crash_at (node, at))
+            | _ -> Error (`Msg "crash spec: <node>@<seconds>"))
+        | _ -> Error (`Msg "fault spec: <node>@<seconds>, <node>@end or straggler:<node>"))
+  in
+  let print fmt = function
+    | Runner.Experiment.Crash_at (node, at) -> Format.fprintf fmt "%d@%g" node at
+    | Runner.Experiment.Crash_epoch_end node -> Format.fprintf fmt "%d@end" node
+    | Runner.Experiment.Straggler node -> Format.fprintf fmt "straggler:%d" node
+  in
+  Arg.conv (parse, print)
+
+let system_arg =
+  Arg.(
+    required
+    & opt (some system_conv) None
+    & info [ "system"; "s" ] ~docv:"SYSTEM"
+        ~doc:
+          "System to run: iss-pbft, iss-hotstuff, iss-raft, single-pbft, single-hotstuff, \
+           single-raft, or mir.")
+
+let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let duration_arg =
+  Arg.(value & opt float 30.0 & info [ "duration"; "d" ] ~doc:"Simulated seconds.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some policy_conv) None
+    & info [ "policy" ] ~doc:"Leader selection policy (simple, backoff, blacklist).")
+
+let series_arg =
+  Arg.(value & flag & info [ "series" ] ~doc:"Print the 1-second throughput series.")
+
+let print_result ~series r =
+  Format.printf "%a@." Runner.Experiment.pp_result r;
+  if series then begin
+    Format.printf "throughput series (req/s per 1s bin):@.";
+    Array.iteri (fun i v -> Format.printf "  t=%3ds  %10.0f@." i v) r.Runner.Experiment.series
+  end
+
+let run_cmd =
+  let rate_arg =
+    Arg.(value & opt float 1000.0 & info [ "rate"; "r" ] ~doc:"Offered load, requests/s.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "fault"; "crash" ] ~docv:"FAULT"
+          ~doc:"Fault to inject: <node>@<seconds>, <node>@end, or straggler:<node>.")
+  in
+  let relaxed_arg =
+    Arg.(
+      value & flag
+      & info [ "relaxed" ]
+          ~doc:"Disable strict per-request validation (fast large benchmarks).")
+  in
+  let go system n rate duration seed policy faults series relaxed =
+    let tweak c = { c with Core.Config.strict_validation = not relaxed } in
+    let r =
+      Runner.Experiment.run ?policy ~tweak ~faults ~system ~n ~rate ~duration_s:duration
+        ~seed:(Int64.of_int seed) ()
+    in
+    print_result ~series r
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one measurement experiment.")
+    Term.(
+      const go $ system_arg $ n_arg $ rate_arg $ duration_arg $ seed_arg $ policy_arg
+      $ faults_arg $ series_arg $ relaxed_arg)
+
+let peak_cmd =
+  let go system n duration seed series =
+    let r =
+      Runner.Experiment.peak_throughput ~system ~n ~duration_s:duration
+        ~seed:(Int64.of_int seed) ()
+    in
+    print_result ~series r
+  in
+  Cmd.v
+    (Cmd.info "peak" ~doc:"Measure peak throughput (over-saturated run, Fig. 5 metric).")
+    Term.(const go $ system_arg $ n_arg $ duration_arg $ seed_arg $ series_arg)
+
+let topology_cmd =
+  let go () =
+    let dcs = Sim.Topology.datacenters in
+    Format.printf "%d datacenters; one-way latency matrix (ms):@." (Array.length dcs);
+    Format.printf "%14s" "";
+    Array.iter (fun (d : Sim.Topology.datacenter) -> Format.printf "%9s" (String.sub d.name 0 (min 8 (String.length d.name)))) dcs;
+    Format.printf "@.";
+    Array.iteri
+      (fun i (d : Sim.Topology.datacenter) ->
+        Format.printf "%14s" d.name;
+        Array.iteri
+          (fun j _ -> Format.printf "%9.1f" (Sim.Time_ns.to_ms_f (Sim.Topology.latency i j)))
+          dcs;
+        Format.printf "@.")
+      dcs
+  in
+  Cmd.v (Cmd.info "topology" ~doc:"Print the modeled WAN latency matrix.") Term.(const go $ const ())
+
+let config_cmd =
+  let go system n =
+    let config =
+      match system with
+      | Runner.Cluster.Iss p -> Core.Config.default_for p ~n
+      | Runner.Cluster.Single p ->
+          { (Core.Config.default_for p ~n) with Core.Config.leader_policy = Core.Config.Fixed [ 0 ] }
+      | Runner.Cluster.Mir -> Core.Config.pbft_default ~n
+    in
+    Format.printf "%a@." Core.Config.pp config
+  in
+  Cmd.v (Cmd.info "config" ~doc:"Print the configuration a system would run with.")
+    Term.(const go $ system_arg $ n_arg)
+
+let () =
+  setup_profiler ();
+  let info = Cmd.info "iss_sim" ~doc:"ISS (Insanely Scalable SMR) simulator." in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; peak_cmd; topology_cmd; config_cmd ]))

@@ -1,0 +1,1 @@
+examples/blockchain_ordering.ml: Array Core Format Iss_crypto List Pbft Printf Proto Sim String

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Array Core Format List Pbft Printf Proto Sim String

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Core Format Hashtbl Iss_crypto List Printf Proto Raft Sim String

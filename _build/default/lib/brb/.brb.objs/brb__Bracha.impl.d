@@ -1,0 +1,1 @@
+lib/brb/bracha.ml: Brb_msg Hashtbl Iss_crypto Proto

@@ -1,0 +1,1 @@
+lib/brb/bracha.mli: Brb_msg Proto

@@ -1,0 +1,1 @@
+lib/brb/brb_msg.ml: Iss_crypto String

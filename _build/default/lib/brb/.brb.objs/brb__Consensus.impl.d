@@ -1,0 +1,1 @@
+lib/brb/consensus.ml: Brb_msg Hashtbl Iss_crypto Option Proto Sim

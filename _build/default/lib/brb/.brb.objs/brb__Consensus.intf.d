@@ -1,0 +1,1 @@
+lib/brb/consensus.mli: Brb_msg Proto Sim

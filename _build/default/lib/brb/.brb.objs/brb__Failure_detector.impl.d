@@ -1,0 +1,1 @@
+lib/brb/failure_detector.ml: Array Brb_msg List Proto Sim

@@ -1,0 +1,1 @@
+lib/brb/failure_detector.mli: Brb_msg Proto Sim

@@ -1,0 +1,1 @@
+lib/brb/sb_cons.ml: Array Bracha Brb_msg Consensus Failure_detector Hashtbl Lazy List Proto String

@@ -1,0 +1,1 @@
+lib/brb/sb_cons.mli: Brb_msg Failure_detector Proto Sim

@@ -1,0 +1,112 @@
+type t = {
+  n : int;
+  f : int;
+  me : Proto.Ids.node_id;
+  instance : int;
+  sender : Proto.Ids.node_id;
+  send : dst:Proto.Ids.node_id -> Brb_msg.t -> unit;
+  deliver : string -> unit;
+  echoes : (Proto.Ids.node_id, Iss_crypto.Hash.t) Hashtbl.t;
+  readies : (Proto.Ids.node_id, Iss_crypto.Hash.t) Hashtbl.t;
+  payloads : (string, string) Hashtbl.t;  (* digest raw -> payload *)
+  mutable sent_value : bool;
+  mutable echoed : bool;
+  mutable readied : bool;
+  mutable output : string option;
+}
+
+let create ~n ~me ~instance ~sender ~send ~deliver =
+  {
+    n;
+    f = Proto.Ids.max_faulty ~n;
+    me;
+    instance;
+    sender;
+    send;
+    deliver;
+    echoes = Hashtbl.create 8;
+    readies = Hashtbl.create 8;
+    payloads = Hashtbl.create 4;
+    sent_value = false;
+    echoed = false;
+    readied = false;
+    output = None;
+  }
+
+let bcast t msg =
+  for dst = 0 to t.n - 1 do
+    t.send ~dst msg
+  done
+
+let broadcast t payload =
+  if t.me <> t.sender then invalid_arg "Bracha.broadcast: not the designated sender";
+  if not t.sent_value then begin
+    t.sent_value <- true;
+    bcast t (Brb_msg.Brb_send { instance = t.instance; payload })
+  end
+
+let count_matching tbl digest =
+  Hashtbl.fold (fun _ d acc -> if Iss_crypto.Hash.equal d digest then acc + 1 else acc) tbl 0
+
+let rec progress t =
+  match t.output with
+  | Some _ -> ()
+  | None ->
+      (* Amplify READY at f+1, emit READY at 2f+1 ECHOs, deliver at 2f+1
+         READYs with a known payload. *)
+      let try_ready digest =
+        if not t.readied then begin
+          let echo_quorum = count_matching t.echoes digest >= t.n - t.f in
+          let ready_support = count_matching t.readies digest >= t.f + 1 in
+          if echo_quorum || ready_support then begin
+            t.readied <- true;
+            let payload = Hashtbl.find_opt t.payloads (Iss_crypto.Hash.raw digest) in
+            bcast t (Brb_msg.Brb_ready { instance = t.instance; digest; payload });
+            progress t
+          end
+        end
+      in
+      let try_deliver digest =
+        if count_matching t.readies digest >= t.n - t.f then
+          match Hashtbl.find_opt t.payloads (Iss_crypto.Hash.raw digest) with
+          | Some payload ->
+              t.output <- Some payload;
+              t.deliver payload
+          | None -> ()
+      in
+      (* Evaluate against every digest we have heard of. *)
+      let candidates = Hashtbl.create 4 in
+      Hashtbl.iter (fun _ d -> Hashtbl.replace candidates (Iss_crypto.Hash.raw d) d) t.echoes;
+      Hashtbl.iter (fun _ d -> Hashtbl.replace candidates (Iss_crypto.Hash.raw d) d) t.readies;
+      Hashtbl.iter (fun _ d -> try_ready d) candidates;
+      Hashtbl.iter (fun _ d -> try_deliver d) candidates
+
+let on_message t ~src msg =
+  match msg with
+  | Brb_msg.Brb_send { instance; payload } when instance = t.instance ->
+      if src = t.sender && not t.echoed then begin
+        t.echoed <- true;
+        let digest = Iss_crypto.Hash.of_string payload in
+        Hashtbl.replace t.payloads (Iss_crypto.Hash.raw digest) payload;
+        bcast t (Brb_msg.Brb_echo { instance = t.instance; digest });
+        progress t
+      end
+  | Brb_msg.Brb_echo { instance; digest } when instance = t.instance ->
+      if not (Hashtbl.mem t.echoes src) then begin
+        Hashtbl.replace t.echoes src digest;
+        progress t
+      end
+  | Brb_msg.Brb_ready { instance; digest; payload } when instance = t.instance ->
+      if not (Hashtbl.mem t.readies src) then begin
+        Hashtbl.replace t.readies src digest;
+        (match payload with
+        | Some p when Iss_crypto.Hash.equal (Iss_crypto.Hash.of_string p) digest ->
+            Hashtbl.replace t.payloads (Iss_crypto.Hash.raw digest) p
+        | Some _ | None -> ());
+        progress t
+      end
+  | Brb_msg.Brb_send _ | Brb_msg.Brb_echo _ | Brb_msg.Brb_ready _ | Brb_msg.Bc_propose _
+  | Brb_msg.Bc_vote _ | Brb_msg.Bc_decide _ | Brb_msg.Fd_beat ->
+      ()
+
+let delivered t = t.output

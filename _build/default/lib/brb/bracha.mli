@@ -1,0 +1,25 @@
+(** Bracha's Byzantine reliable broadcast (1987), one instance per id.
+
+    SEND → ECHO (2f+1) → READY (amplified at f+1, delivered at 2f+1).
+    Guarantees, with n ≥ 3f+1: No duplication, Integrity, Validity,
+    Consistency, Totality — exactly the BRB1–BRB6 properties §5.1.1 of the
+    paper relies on. *)
+
+type t
+
+val create :
+  n:int ->
+  me:Proto.Ids.node_id ->
+  instance:int ->
+  sender:Proto.Ids.node_id ->
+  send:(dst:Proto.Ids.node_id -> Brb_msg.t -> unit) ->
+  deliver:(string -> unit) ->
+  t
+(** [deliver] fires at most once, with the sender's payload. *)
+
+val broadcast : t -> string -> unit
+(** Only the designated sender may call this, once. *)
+
+val on_message : t -> src:Proto.Ids.node_id -> Brb_msg.t -> unit
+
+val delivered : t -> string option

@@ -1,0 +1,28 @@
+(** Wire messages for the Section-5 stack: Bracha reliable broadcast,
+    single-shot Byzantine consensus, failure-detector heartbeats, and the
+    SB-from-consensus construction (Algorithm 5).  Payloads are opaque
+    strings — this stack validates the theory section, it does not carry
+    ISS batches. *)
+
+type t =
+  | Brb_send of { instance : int; payload : string }
+  | Brb_echo of { instance : int; digest : Iss_crypto.Hash.t }
+  | Brb_ready of { instance : int; digest : Iss_crypto.Hash.t; payload : string option }
+      (** The payload rides along with the first READY from the sender's
+          ECHO quorum so late nodes can deliver the value, not only its
+          digest. *)
+  | Bc_propose of { instance : int; view : int; value : string option }
+      (** [None] encodes ⊥. *)
+  | Bc_vote of { instance : int; view : int; digest : Iss_crypto.Hash.t }
+  | Bc_decide of { instance : int; view : int; value : string option }
+  | Fd_beat
+
+let wire_size = function
+  | Brb_send { payload; _ } -> 16 + String.length payload
+  | Brb_echo _ -> 16 + Iss_crypto.Hash.size
+  | Brb_ready { payload; _ } ->
+      16 + Iss_crypto.Hash.size + (match payload with Some p -> String.length p | None -> 0)
+  | Bc_propose { value; _ } -> 24 + (match value with Some v -> String.length v | None -> 0)
+  | Bc_vote _ -> 24 + Iss_crypto.Hash.size
+  | Bc_decide { value; _ } -> 24 + (match value with Some v -> String.length v | None -> 0)
+  | Fd_beat -> 8

@@ -1,0 +1,46 @@
+(** Single-shot Byzantine consensus for the Algorithm-5 construction
+    (paper §5.1.2).
+
+    Rotating-coordinator protocol under partial synchrony: the view-[v]
+    coordinator proposes its estimate, replicas vote (at most once per
+    view), and 2f+1 matching votes decide.  A replica {e locks} the first
+    value it votes for and never votes differently afterwards, which gives
+    Agreement by quorum intersection; a coordinator re-proposes its own
+    lock when it has one.
+
+    Inputs are validated by an [acceptable] predicate — in Algorithm 5
+    a correct node accepts only its BRB-delivered value or ⊥, which
+    restricts decisions to BC4-valid values.
+
+    Simplification (documented in DESIGN.md): the view change carries no
+    signed lock justification, so an adversarial schedule that splits locks
+    between a value and ⊥ can stall termination.  The scenarios of the
+    paper (crash faults, quiet senders) do not produce such splits; the
+    full justification machinery lives in [lib/pbft]. *)
+
+type t
+
+type value = string option
+(** [None] is ⊥. *)
+
+val create :
+  engine:Sim.Engine.t ->
+  n:int ->
+  me:Proto.Ids.node_id ->
+  instance:int ->
+  send:(dst:Proto.Ids.node_id -> Brb_msg.t -> unit) ->
+  acceptable:(value -> bool) ->
+  decide:(value -> unit) ->
+  ?view_timeout:Sim.Time_ns.span ->
+  unit ->
+  t
+
+val propose : t -> value -> unit
+(** Sets this node's estimate (first call wins) and starts participating. *)
+
+val on_message : t -> src:Proto.Ids.node_id -> Brb_msg.t -> unit
+
+val decided : t -> value option
+(** [Some v] once this node has decided. *)
+
+val stop : t -> unit

@@ -1,0 +1,38 @@
+(** ◇S(bz) failure detector (Malkhi–Reiter), implemented as §5.1.3:
+    heartbeats through reliable broadcast plus per-process timeouts that
+    double on suspicion.
+
+    Guarantees under partial synchrony:
+    - {b Strong completeness}: quiet processes are eventually permanently
+      suspected by every correct process;
+    - {b Eventual weak accuracy}: some correct process is eventually never
+      suspected (timeouts outgrow the post-GST network delay). *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  n:int ->
+  me:Proto.Ids.node_id ->
+  send:(dst:Proto.Ids.node_id -> Brb_msg.t -> unit) ->
+  ?beat_interval:Sim.Time_ns.span ->
+  ?initial_timeout:Sim.Time_ns.span ->
+  unit ->
+  t
+(** Defaults: 500 ms heartbeats, 2 s initial timeout. *)
+
+val start : t -> unit
+
+val on_message : t -> src:Proto.Ids.node_id -> Brb_msg.t -> unit
+(** Feed [Fd_beat] messages. *)
+
+val suspected : t -> Proto.Ids.node_id -> bool
+val suspects : t -> Proto.Ids.node_id list
+
+val on_suspect : t -> (Proto.Ids.node_id -> unit) -> unit
+(** Register a SUSPECT event listener (may fire repeatedly per node as
+    timers expire; RESTORE listeners analogous). *)
+
+val on_restore : t -> (Proto.Ids.node_id -> unit) -> unit
+
+val stop : t -> unit

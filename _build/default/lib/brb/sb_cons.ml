@@ -1,0 +1,113 @@
+type slot = {
+  sn : int;
+  brb : Bracha.t;
+  bc : Consensus.t;
+  mutable proposed : bool;  (* did we feed the consensus a value yet? *)
+}
+
+type t = {
+  me : Proto.Ids.node_id;
+  sender : Proto.Ids.node_id;
+  mutable slots : slot array;
+  by_instance : (int, [ `Brb of slot | `Bc of slot ]) Hashtbl.t;
+  fd : Failure_detector.t;
+  mutable initialized : bool;
+  mutable deliveries : (int * string option) list;  (* reverse order *)
+}
+
+let create ~engine ~n ~me ~sender ~seq_nrs ~instance_base ~send ~fd ~deliver =
+  let t =
+    {
+      me;
+      sender;
+      slots = [||];
+      by_instance = Hashtbl.create (2 * Array.length seq_nrs);
+      fd;
+      initialized = false;
+      deliveries = [];
+    }
+  in
+  let slots =
+    Array.mapi
+      (fun idx sn ->
+        let brb_instance = instance_base + (2 * idx) in
+        let bc_instance = instance_base + (2 * idx) + 1 in
+        let rec slot =
+          lazy
+            (let brb =
+               Bracha.create ~n ~me ~instance:brb_instance ~sender ~send
+                 ~deliver:(fun payload ->
+                   (* BRB-DELIVER: propose the value (Algorithm 5 line 20). *)
+                   let s = Lazy.force slot in
+                   s.proposed <- true;
+                   Consensus.propose s.bc (Some payload))
+             in
+             let bc =
+               Consensus.create ~engine ~n ~me ~instance:bc_instance ~send
+                 ~acceptable:(fun value ->
+                   match value with
+                   | None -> true
+                   | Some v -> (
+                       (* Only a value we brb-delivered ourselves is
+                          acceptable — this pins BC validity to the
+                          sender's actual broadcast. *)
+                       match Bracha.delivered (Lazy.force slot).brb with
+                       | Some mine -> String.equal mine v
+                       | None -> false))
+                 ~decide:(fun value ->
+                   t.deliveries <- (sn, value) :: t.deliveries;
+                   deliver ~sn value)
+                 ()
+             in
+             { sn; brb; bc; proposed = false })
+        in
+        Lazy.force slot)
+      seq_nrs
+  in
+  t.slots <- slots;
+  Array.iteri
+    (fun idx s ->
+      Hashtbl.replace t.by_instance (instance_base + (2 * idx)) (`Brb s);
+      Hashtbl.replace t.by_instance (instance_base + (2 * idx) + 1) (`Bc s))
+    slots;
+  t
+
+let abort t =
+  Array.iter
+    (fun s ->
+      if not s.proposed then begin
+        s.proposed <- true;
+        Consensus.propose s.bc None
+      end)
+    t.slots
+
+let init t =
+  if not t.initialized then begin
+    t.initialized <- true;
+    Failure_detector.on_suspect t.fd (fun p -> if p = t.sender then abort t);
+    if Failure_detector.suspected t.fd t.sender then abort t
+  end
+
+let sb_cast t ~sn payload =
+  if t.me <> t.sender then invalid_arg "Sb_cons.sb_cast: not the designated sender";
+  match Array.find_opt (fun s -> s.sn = sn) t.slots with
+  | Some s -> Bracha.broadcast s.brb payload
+  | None -> invalid_arg "Sb_cons.sb_cast: unknown sequence number"
+
+let on_message t ~src msg =
+  match msg with
+  | Brb_msg.Brb_send { instance; _ }
+  | Brb_msg.Brb_echo { instance; _ }
+  | Brb_msg.Brb_ready { instance; _ } -> (
+      match Hashtbl.find_opt t.by_instance instance with
+      | Some (`Brb s) -> Bracha.on_message s.brb ~src msg
+      | Some (`Bc _) | None -> ())
+  | Brb_msg.Bc_propose { instance; _ }
+  | Brb_msg.Bc_vote { instance; _ }
+  | Brb_msg.Bc_decide { instance; _ } -> (
+      match Hashtbl.find_opt t.by_instance instance with
+      | Some (`Bc s) -> Consensus.on_message s.bc ~src msg
+      | Some (`Brb _) | None -> ())
+  | Brb_msg.Fd_beat -> Failure_detector.on_message t.fd ~src msg
+
+let delivered t = List.rev t.deliveries

@@ -1,0 +1,41 @@
+(** Algorithm 5: Sequenced Broadcast from BRB + Byzantine consensus + a
+    ◇S(bz) failure detector — the paper's constructive proof (§5.1.4) that
+    SB is implementable, and therefore no stronger than consensus.
+
+    One {!Bracha} instance and one {!Consensus} instance run per sequence
+    number.  The designated sender brb-casts its messages; every node
+    proposes what it brb-delivers; suspecting the sender after SB-INIT
+    aborts: ⊥ is proposed for every not-yet-proposed sequence number.
+
+    The test suite checks the four SB properties (Integrity, Agreement,
+    Termination, Eventual Progress) against this implementation. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  n:int ->
+  me:Proto.Ids.node_id ->
+  sender:Proto.Ids.node_id ->
+  seq_nrs:int array ->
+  instance_base:int ->
+  send:(dst:Proto.Ids.node_id -> Brb_msg.t -> unit) ->
+  fd:Failure_detector.t ->
+  deliver:(sn:int -> string option -> unit) ->
+  t
+(** [instance_base]: this SB instance owns message-instance ids
+    [base .. base + 2*|seq_nrs|); run multiple SBs on one network by spacing
+    their bases. *)
+
+val init : t -> unit
+(** SB-INIT: from now on, suspecting the sender aborts.  If the sender is
+    already suspected, abort immediately (the paper's precondition for
+    Termination). *)
+
+val sb_cast : t -> sn:int -> string -> unit
+(** Designated sender only. *)
+
+val on_message : t -> src:Proto.Ids.node_id -> Brb_msg.t -> unit
+
+val delivered : t -> (int * string option) list
+(** Deliveries so far, in delivery order. *)

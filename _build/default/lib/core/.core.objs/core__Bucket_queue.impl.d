@@ -1,0 +1,1 @@
+lib/core/bucket_queue.ml: Array Hashtbl List Option Proto

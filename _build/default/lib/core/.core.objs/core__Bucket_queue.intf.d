@@ -1,0 +1,1 @@
+lib/core/bucket_queue.mli: Proto

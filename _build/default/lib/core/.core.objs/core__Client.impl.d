@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Config Hashtbl Int64 Iss_crypto List Node Proto Sim

@@ -1,0 +1,1 @@
+lib/core/leader_policy.ml: Array Config List Proto

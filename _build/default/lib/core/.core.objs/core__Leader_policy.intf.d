@@ -1,0 +1,1 @@
+lib/core/leader_policy.mli: Config Proto

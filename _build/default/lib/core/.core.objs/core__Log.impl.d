@@ -1,0 +1,1 @@
+lib/core/log.ml: Array Hashtbl Iss_crypto Printf Proto

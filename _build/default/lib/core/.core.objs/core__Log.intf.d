@@ -1,0 +1,1 @@
+lib/core/log.mli: Iss_crypto Proto

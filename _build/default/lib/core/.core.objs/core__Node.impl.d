@@ -1,0 +1,1 @@
+lib/core/node.ml: Array Bucket_assignment Bucket_queue Config Hashtbl Iss_crypto Leader_policy List Log Orderer_intf Proto Queue Segment Sim Watermarks

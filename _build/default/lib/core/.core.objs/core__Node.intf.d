@@ -1,0 +1,1 @@
+lib/core/node.mli: Config Log Orderer_intf Proto Segment Sim

@@ -1,0 +1,1 @@
+lib/core/orderer_intf.ml: Config Iss_crypto Proto Segment Sim

@@ -1,0 +1,1 @@
+lib/core/segment.ml: Array Bucket_assignment Config Format List Proto

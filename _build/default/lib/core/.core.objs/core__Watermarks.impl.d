@@ -1,0 +1,1 @@
+lib/core/watermarks.ml: Bytes Char Hashtbl Proto

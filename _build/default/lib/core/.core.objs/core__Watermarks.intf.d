@@ -1,0 +1,1 @@
+lib/core/watermarks.mli: Proto

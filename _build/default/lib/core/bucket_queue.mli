@@ -1,0 +1,50 @@
+(** A bucket's pending-request queue (paper §3.2, §3.7).
+
+    Properties the paper requires and this structure provides:
+    - {b FIFO}: the oldest request is always proposed first (liveness of the
+      induction in the SMR4 proof rests on this);
+    - {b idempotent add}: a request is held at most once, no matter how many
+      times the client retransmits it;
+    - {b removal by identity}: requests leave the queue when proposed or when
+      observed committed in someone else's batch;
+    - {b resurrection}: a request whose proposal was aborted with ⊥ returns
+      at its {e original} position in the arrival order (§3.2 "maintaining
+      its reception order").
+
+    Internally a map keyed by arrival sequence number plus an id index; all
+    operations are O(log n). *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+val is_empty : t -> bool
+
+val add : t -> seq:int -> Proto.Request.t -> bool
+(** [add t ~seq r] inserts [r] with arrival-order key [seq] (assigned by the
+    caller from a per-node counter).  Returns [false] — and changes
+    nothing — when a request with the same id is already present.  (Whether
+    the request was {e previously} delivered is tracked by the node, which
+    filters such requests before calling [add].) *)
+
+val mem : t -> Proto.Request.id -> bool
+
+val remove : t -> Proto.Request.id -> Proto.Request.t option
+(** Removes by identity; [None] when absent.  The returned request remembers
+    its arrival key so it can be resurrected in place. *)
+
+val resurrect : t -> seq:int -> Proto.Request.t -> unit
+(** Re-insert a previously removed request at arrival key [seq] (its
+    original one).  No-op if a request with the same id is present. *)
+
+val peek_oldest : t -> Proto.Request.t option
+
+val cut : t -> max:int -> Proto.Request.t array
+(** Removes and returns up to [max] oldest requests — the batch-cutting
+    primitive (Algorithm 2, cutBatch). *)
+
+val oldest_seq : t -> int option
+(** Arrival key of the oldest pending request (for age-based batching). *)
+
+val iter : (Proto.Request.t -> unit) -> t -> unit

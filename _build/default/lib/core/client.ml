@@ -1,0 +1,174 @@
+module Time_ns = Sim.Time_ns
+module Engine = Sim.Engine
+
+type reply_quorum = [ `F_plus_one | `One ]
+
+type pending = {
+  request : Proto.Request.t;
+  mutable repliers : Proto.Ids.node_id list;  (* distinct nodes that replied *)
+}
+
+type t = {
+  config : Config.t;
+  id : Proto.Ids.client_id;
+  engine : Engine.t;
+  send : dst:int -> Proto.Message.t -> unit;
+  sign : bool;
+  keypair : Iss_crypto.Signature.keypair;
+  on_complete : Proto.Request.t -> latency:Time_ns.span -> unit;
+  mutable next_ts : int;
+  mutable floor : int;  (* lowest unconfirmed timestamp *)
+  pending : (int, pending) Hashtbl.t;  (* ts -> *)
+  mutable backlog : int;  (* requests wanted but blocked by the window *)
+  mutable epoch : int;
+  mutable bucket_leaders : Proto.Ids.node_id array option;
+  bucket_update_votes : (int, (Proto.Ids.node_id, Proto.Ids.node_id array) Hashtbl.t) Hashtbl.t;
+  rng : Sim.Rng.t;
+  mutable open_loop_active : bool;
+  mutable completed_count : int;
+}
+
+let create ~config ~id ~engine ~send ?sign ?(on_complete = fun _ ~latency:_ -> ()) () =
+  let sign = match sign with Some s -> s | None -> config.Config.client_signatures in
+  {
+    config;
+    id;
+    engine;
+    send;
+    sign;
+    keypair = Iss_crypto.Signature.genkey ~id;
+    on_complete;
+    next_ts = 0;
+    floor = 0;
+    pending = Hashtbl.create 64;
+    backlog = 0;
+    epoch = 0;
+    bucket_leaders = None;
+    bucket_update_votes = Hashtbl.create 4;
+    rng = Sim.Rng.create ~seed:(Int64.of_int ((id * 2654435761) + 17));
+    open_loop_active = false;
+    completed_count = 0;
+  }
+
+let in_flight t = Hashtbl.length t.pending
+
+let completed t = t.completed_count
+
+let reply_quorum t =
+  match t.config.Config.protocol with
+  | Config.Raft -> 1
+  | Config.PBFT | Config.HotStuff -> Config.max_faulty t.config + 1
+
+(* Targets per §4.3: the current leader of the request's bucket plus the
+   projected initial owners for the next two epochs.  Before the first
+   bucket update arrives, fall back to the epoch-0 projection. *)
+let targets t (req : Proto.Request.t) =
+  let num_buckets = Config.num_buckets t.config in
+  let bucket = Proto.Request.bucket_of_id ~num_buckets req.id in
+  let current =
+    match t.bucket_leaders with
+    | Some leaders -> leaders.(bucket)
+    | None -> Node.projected_bucket_leader ~config:t.config ~epoch:t.epoch ~bucket
+  in
+  let next1 = Node.projected_bucket_leader ~config:t.config ~epoch:(t.epoch + 1) ~bucket in
+  let next2 = Node.projected_bucket_leader ~config:t.config ~epoch:(t.epoch + 2) ~bucket in
+  List.sort_uniq compare [ current; next1; next2 ]
+
+let send_request t (req : Proto.Request.t) =
+  List.iter (fun dst -> t.send ~dst (Proto.Message.Request_msg req)) (targets t req)
+
+let window_has_room t = t.next_ts - t.floor < t.config.Config.client_watermark_window
+
+let rec submit_now t =
+  let ts = t.next_ts in
+  t.next_ts <- ts + 1;
+  let req =
+    Proto.Request.make ~client:t.id ~ts ~payload_size:t.config.Config.request_payload
+      ~sig_data:(if t.sign then Proto.Request.Presumed true else Proto.Request.Unsigned)
+      ~submitted_at:(Engine.now t.engine) ()
+  in
+  let req = if t.sign then Proto.Request.sign t.keypair req else req in
+  Hashtbl.replace t.pending ts { request = req; repliers = [] };
+  send_request t req
+
+and drain_backlog t =
+  while t.backlog > 0 && window_has_room t do
+    t.backlog <- t.backlog - 1;
+    submit_now t
+  done
+
+let submit_next t =
+  if window_has_room t then submit_now t else t.backlog <- t.backlog + 1
+
+let advance_floor t =
+  while t.floor < t.next_ts && not (Hashtbl.mem t.pending t.floor) do
+    t.floor <- t.floor + 1
+  done;
+  drain_backlog t
+
+let handle_reply t ~src ~ts =
+  match Hashtbl.find_opt t.pending ts with
+  | None -> ()
+  | Some p ->
+      if not (List.mem src p.repliers) then begin
+        p.repliers <- src :: p.repliers;
+        if List.length p.repliers >= reply_quorum t then begin
+          Hashtbl.remove t.pending ts;
+          t.completed_count <- t.completed_count + 1;
+          let latency =
+            Time_ns.diff (Engine.now t.engine) p.request.Proto.Request.submitted_at
+          in
+          t.on_complete p.request ~latency;
+          advance_floor t
+        end
+      end
+
+(* Bucket updates are accepted once a quorum of nodes report the same
+   assignment for an epoch (§4.3). *)
+let handle_bucket_update t ~src ~epoch ~bucket_leaders =
+  if epoch >= t.epoch then begin
+    let votes =
+      match Hashtbl.find_opt t.bucket_update_votes epoch with
+      | Some v -> v
+      | None ->
+          let v = Hashtbl.create 8 in
+          Hashtbl.replace t.bucket_update_votes epoch v;
+          v
+    in
+    Hashtbl.replace votes src bucket_leaders;
+    let matching =
+      Hashtbl.fold (fun _ bl acc -> if bl = bucket_leaders then acc + 1 else acc) votes 0
+    in
+    if matching >= reply_quorum t && (epoch > t.epoch || t.bucket_leaders = None) then begin
+      t.epoch <- epoch;
+      t.bucket_leaders <- Some bucket_leaders;
+      Hashtbl.remove t.bucket_update_votes epoch;
+      (* Epoch transition: resubmit everything still unconfirmed (§4.3). *)
+      Hashtbl.iter (fun _ p -> send_request t p.request) t.pending
+    end
+  end
+
+let on_message t ~src msg =
+  match msg with
+  | Proto.Message.Reply { req_id; _ } ->
+      if req_id.Proto.Request.client = t.id then handle_reply t ~src ~ts:req_id.Proto.Request.ts
+  | Proto.Message.Bucket_update { epoch; bucket_leaders } ->
+      handle_bucket_update t ~src ~epoch ~bucket_leaders
+  | _ -> ()
+
+let start_open_loop t ~rate ~until =
+  assert (rate > 0.0);
+  if not t.open_loop_active then begin
+    t.open_loop_active <- true;
+    let rec arm () =
+      let gap = Sim.Rng.exponential t.rng ~mean:(1.0 /. rate) in
+      ignore
+        (Engine.schedule t.engine ~delay:(Time_ns.of_sec_f gap) (fun () ->
+             if Engine.now t.engine <= until then begin
+               submit_next t;
+               arm ()
+             end
+             else t.open_loop_active <- false))
+    in
+    arm ()
+  end

@@ -1,0 +1,39 @@
+(** ISS clients (paper §4.3).
+
+    A client submits signed requests with consecutive timestamps inside its
+    watermark window.  Leader detection: it sends each request to the node
+    currently leading the request's bucket — learned from quorum-confirmed
+    [Bucket_update] messages — plus the two nodes projected (via the initial
+    round-robin assignment) to own that bucket in the next two epochs.  At
+    every epoch transition it resubmits all requests not yet confirmed by a
+    reply quorum. *)
+
+type t
+
+type reply_quorum = [ `F_plus_one | `One ]
+(** BFT deployments need f+1 matching replies; CFT deployments accept one. *)
+
+val create :
+  config:Config.t ->
+  id:Proto.Ids.client_id ->
+  engine:Sim.Engine.t ->
+  send:(dst:int -> Proto.Message.t -> unit) ->
+  ?sign:bool ->
+  ?on_complete:(Proto.Request.t -> latency:Sim.Time_ns.span -> unit) ->
+  unit ->
+  t
+(** [sign] (default from [config.client_signatures]) attaches real simulated
+    signatures.  [on_complete] fires when the reply quorum is reached. *)
+
+val on_message : t -> src:int -> Proto.Message.t -> unit
+
+val submit_next : t -> unit
+(** Create and send the next request (timestamps are consecutive).  If the
+    watermark window is exhausted (too many in flight), the request is
+    queued locally and sent when space opens. *)
+
+val start_open_loop : t -> rate:float -> until:Sim.Time_ns.t -> unit
+(** Poisson arrivals at [rate] requests/s until the given time. *)
+
+val in_flight : t -> int
+val completed : t -> int

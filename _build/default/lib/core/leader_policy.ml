@@ -1,0 +1,107 @@
+type state =
+  | Simple
+  | Backoff of { penalty : int array; ban_period : int; decrease : int }
+  | Blacklist of { last_failure : int array; f : int }
+  | Fixed of Proto.Ids.node_id array
+  | Straggler_aware of { last_failure : int array; f : int }
+      (** like Blacklist, but straggle evidence also counts as failure *)
+
+type t = { n : int; state : state }
+
+type leader_stats = {
+  ls_leader : Proto.Ids.node_id;
+  ls_batches : int;
+  ls_empty : int;
+  ls_requests : int;
+}
+
+let create (config : Config.t) =
+  let n = config.Config.n in
+  let state =
+    match config.Config.leader_policy with
+    | Config.Simple -> Simple
+    | Config.Backoff ->
+        Backoff
+          {
+            penalty = Array.make n 0;
+            ban_period = config.Config.backoff_ban_period;
+            decrease = config.Config.backoff_decrease;
+          }
+    | Config.Blacklist -> Blacklist { last_failure = Array.make n (-1); f = Config.max_faulty config }
+    | Config.Fixed leaders -> Fixed (Array.of_list (List.sort_uniq compare leaders))
+    | Config.Straggler_aware ->
+        Straggler_aware { last_failure = Array.make n (-1); f = Config.max_faulty config }
+  in
+  { n; state }
+
+(* Deterministic straggle rule: a leader straggles when the epoch's busiest
+   leader shipped a substantial number of requests (so the system was under
+   real load) while this leader shipped less than an eighth of that despite
+   committing batches (so it was alive, just withholding). *)
+let stragglers_of stats =
+  let busiest = List.fold_left (fun acc s -> max acc s.ls_requests) 0 stats in
+  if busiest < 256 then []
+  else
+    List.filter_map
+      (fun s ->
+        if s.ls_batches > 0 && s.ls_requests * 8 < busiest then Some s.ls_leader else None)
+      stats
+
+let epoch_finished t ~epoch ~failed ?(stats = []) () =
+  match t.state with
+  | Simple | Fixed _ -> ()
+  | Blacklist { last_failure; _ } ->
+      List.iter
+        (fun (leader, sn) -> if sn > last_failure.(leader) then last_failure.(leader) <- sn)
+        failed
+  | Straggler_aware { last_failure; _ } ->
+      (* Recency is tracked in epochs here: ⊥ evidence and straggle evidence
+         land in the same scale. *)
+      List.iter
+        (fun (leader, _) -> if epoch > last_failure.(leader) then last_failure.(leader) <- epoch)
+        failed;
+      List.iter
+        (fun leader -> if epoch > last_failure.(leader) then last_failure.(leader) <- epoch)
+        (stragglers_of stats)
+  | Backoff { penalty; ban_period; decrease } ->
+      let failed_now = Array.make t.n false in
+      List.iter (fun (leader, _) -> failed_now.(leader) <- true) failed;
+      for i = 0 to t.n - 1 do
+        if failed_now.(i) then
+          (* Double an active ban; start a fresh one otherwise. *)
+          penalty.(i) <- (if penalty.(i) > 0 then (penalty.(i) * 2) - 1 else ban_period)
+        else if penalty.(i) > 0 then penalty.(i) <- max 0 (penalty.(i) - decrease)
+      done
+
+let leaders t ~epoch:_ =
+  match t.state with
+  | Simple -> Array.init t.n (fun i -> i)
+  | Fixed leaders -> Array.copy leaders
+  | Backoff { penalty; _ } ->
+      let out = ref [] in
+      for i = t.n - 1 downto 0 do
+        if penalty.(i) <= 0 then out := i :: !out
+      done;
+      Array.of_list !out
+  | Blacklist { last_failure; f } | Straggler_aware { last_failure; f } ->
+      (* Ban the <= f nodes with the highest (most recent) failures. *)
+      let offenders =
+        List.init t.n (fun i -> i)
+        |> List.filter (fun i -> last_failure.(i) >= 0)
+        |> List.sort (fun a b -> compare last_failure.(b) last_failure.(a))
+      in
+      let banned = Array.make t.n false in
+      List.iteri (fun rank i -> if rank < f then banned.(i) <- true) offenders;
+      let out = ref [] in
+      for i = t.n - 1 downto 0 do
+        if not banned.(i) then out := i :: !out
+      done;
+      Array.of_list !out
+
+let is_banned t node =
+  match t.state with
+  | Simple -> false
+  | Fixed leaders -> not (Array.exists (fun l -> l = node) leaders)
+  | Backoff { penalty; _ } -> penalty.(node) > 0
+  | Blacklist _ | Straggler_aware _ ->
+      not (Array.exists (fun l -> l = node) (leaders t ~epoch:0))

@@ -1,0 +1,75 @@
+type delivery = {
+  request : Proto.Request.t;
+  request_sn : int;
+  batch_sn : int;
+}
+
+type t = {
+  entries : (int, Proto.Proposal.t) Hashtbl.t;
+  mutable first_undelivered : int;
+  mutable total_delivered : int;
+}
+
+let create () =
+  { entries = Hashtbl.create 1024; first_undelivered = 0; total_delivered = 0 }
+
+let commit t ~sn proposal =
+  match Hashtbl.find_opt t.entries sn with
+  | Some existing ->
+      if Iss_crypto.Hash.equal (Proto.Proposal.digest existing) (Proto.Proposal.digest proposal)
+      then false
+      else
+        invalid_arg
+          (Printf.sprintf "Log.commit: conflicting proposals at sn %d (SB agreement violation)" sn)
+  | None ->
+      Hashtbl.replace t.entries sn proposal;
+      true
+
+let get t ~sn = Hashtbl.find_opt t.entries sn
+
+let is_committed t ~sn = Hashtbl.mem t.entries sn
+
+let first_undelivered t = t.first_undelivered
+
+let total_delivered t = t.total_delivered
+
+let deliver_ready t ~on_batch =
+  let delivered = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.entries t.first_undelivered with
+    | None -> continue := false
+    | Some proposal ->
+        (match proposal with
+        | Proto.Proposal.Nil -> ()
+        | Proto.Proposal.Batch b ->
+            let count = Proto.Batch.length b in
+            if count > 0 then begin
+              on_batch ~sn:t.first_undelivered ~first_request_sn:t.total_delivered b;
+              t.total_delivered <- t.total_delivered + count;
+              delivered := !delivered + count
+            end);
+        t.first_undelivered <- t.first_undelivered + 1
+  done;
+  !delivered
+
+let range_complete t ~from_sn ~to_sn =
+  let rec go sn = sn > to_sn || (Hashtbl.mem t.entries sn && go (sn + 1)) in
+  go from_sn
+
+let nil_entries t ~from_sn ~to_sn =
+  let out = ref [] in
+  for sn = to_sn downto from_sn do
+    match Hashtbl.find_opt t.entries sn with
+    | Some Proto.Proposal.Nil -> out := sn :: !out
+    | Some (Proto.Proposal.Batch _) | None -> ()
+  done;
+  !out
+
+let batch_digests t ~from_sn ~to_sn =
+  Array.init
+    (to_sn - from_sn + 1)
+    (fun i ->
+      match Hashtbl.find_opt t.entries (from_sn + i) with
+      | Some p -> Proto.Proposal.digest p
+      | None -> invalid_arg "Log.batch_digests: gap in range")

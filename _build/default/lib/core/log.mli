@@ -1,0 +1,55 @@
+(** The contiguous replicated log (paper §2.3, Algorithm 1).
+
+    Each position holds a committed proposal (batch or ⊥).  The log tracks
+    the delivery frontier ([firstUndelivered]) and produces per-request
+    sequence numbers per Eq. (2): request [k] of the batch at position [sn]
+    is delivered with number [k + Σ_{i<sn} S_i] where [S_i] counts the
+    requests committed at position [i]. *)
+
+type t
+
+type delivery = {
+  request : Proto.Request.t;
+  request_sn : int;  (** Eq. (2) global per-request sequence number *)
+  batch_sn : int;  (** log position of the containing batch *)
+}
+
+val create : unit -> t
+
+val commit : t -> sn:int -> Proto.Proposal.t -> bool
+(** Record a committed proposal.  Returns [false] (no change) when the
+    position is already filled — SB agreement makes double commits carry
+    equal values, so dropping them is safe; disagreeing double commits
+    raise [Invalid_argument] (they would mean an SB violation and tests
+    want to hear about it). *)
+
+val get : t -> sn:int -> Proto.Proposal.t option
+
+val is_committed : t -> sn:int -> bool
+
+val first_undelivered : t -> int
+
+val total_delivered : t -> int
+(** Requests delivered so far (= next request sequence number). *)
+
+val deliver_ready :
+  t -> on_batch:(sn:int -> first_request_sn:int -> Proto.Batch.t -> unit) -> int
+(** Walk the frontier: deliver every committed batch at positions
+    [firstUndelivered ..] until the first gap, invoking the callback once
+    per non-⊥ batch in log order.  [first_request_sn] is the Eq. (2)
+    sequence number of the batch's first request; request [k] of the batch
+    has [first_request_sn + k].  Returns the number of {e requests}
+    delivered in this call.  (Batch granularity keeps high-throughput
+    simulations out of per-request callback overhead; callers needing
+    per-request events iterate the batch themselves.) *)
+
+val range_complete : t -> from_sn:int -> to_sn:int -> bool
+(** All positions in [\[from_sn, to_sn\]] committed? *)
+
+val nil_entries : t -> from_sn:int -> to_sn:int -> int list
+(** Positions in the range holding ⊥ (failure evidence for the leader
+    policies). *)
+
+val batch_digests : t -> from_sn:int -> to_sn:int -> Iss_crypto.Hash.t array
+(** Digests of the proposals in an (entirely committed) range — input to the
+    checkpoint Merkle root.  Raises [Invalid_argument] on a gap. *)

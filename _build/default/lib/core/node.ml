@@ -1,0 +1,849 @@
+module Time_ns = Sim.Time_ns
+module Engine = Sim.Engine
+
+type orderer_factory = Orderer_intf.ctx -> Segment.t -> Orderer_intf.instance
+
+type batcher = {
+  b_seg : Segment.t;
+  b_interval : Time_ns.span;  (* rate-limit spacing between cuts (§4.4.1) *)
+  waiting : (int * (Proto.Proposal.t -> unit)) Queue.t;
+  mutable last_cut : Time_ns.t;
+  mutable timer : Engine.timer_id option;
+  mutable wake_at : Time_ns.t;  (* when [timer] fires; avoids re-arm churn *)
+}
+
+type epoch_state = {
+  e_num : int;
+  e_start : int;
+  e_len : int;
+  e_leaders : Proto.Ids.node_id array;
+  e_segments : Segment.t list;
+  e_bucket_leaders : Proto.Ids.node_id array;
+  mutable e_remaining : int;  (* uncommitted sequence numbers of this epoch *)
+}
+
+type cp_vote = {
+  v_max_sn : int;
+  v_root : Iss_crypto.Hash.t;
+  v_sig : Iss_crypto.Signature.signature;
+}
+
+type cp_state = { cp_votes : (Proto.Ids.node_id, cp_vote) Hashtbl.t; mutable cp_stable : bool }
+
+type t = {
+  config : Config.t;
+  id : Proto.Ids.node_id;
+  engine : Engine.t;
+  raw_send : dst:int -> Proto.Message.t -> unit;
+  orderer_factory : orderer_factory;
+  hooks : hooks;
+  keypair : Iss_crypto.Signature.keypair;
+  threshold_group : Iss_crypto.Threshold.group;
+  log : Log.t;
+  buckets : Bucket_queue.t array;
+  arrival_seq : (int, int) Hashtbl.t;  (* request id key -> arrival order *)
+  mutable arrival_counter : int;
+  seen_proposed : (int, int) Hashtbl.t;  (* id key -> sn accepted this epoch *)
+  proposed : (int, Proto.Batch.t) Hashtbl.t;  (* sn -> batch I proposed *)
+  watermarks : Watermarks.t;
+  policy : Leader_policy.t;
+  mutable epoch : epoch_state;
+  orderers : (int, Orderer_intf.instance) Hashtbl.t;  (* instance id -> *)
+  future_buffer : (int, (int * Proto.Message.t) list ref) Hashtbl.t;
+  mutable my_batchers : batcher list;
+  bucket_batcher : batcher option array;
+  checkpoints : (int, cp_state) Hashtbl.t;
+  stable_certs : (int, Proto.Message.checkpoint_cert) Hashtbl.t;
+  epoch_bounds : (int, int * int) Hashtbl.t;  (* epoch -> (start sn, length) *)
+  mutable cpu_free : Time_ns.t;
+  mutable halted : bool;
+  mutable straggler : bool;
+  mutable st_target : int;  (* rotating state-transfer target *)
+  mutable self_handler : src:int -> Proto.Message.t -> unit;  (* loopback knot *)
+}
+
+and hooks = {
+  on_batch_deliver : t -> sn:int -> first_request_sn:int -> Proto.Batch.t -> unit;
+  on_deliver : (t -> Log.delivery -> unit) option;
+  on_epoch_start :
+    t ->
+    epoch:int ->
+    leaders:Proto.Ids.node_id array ->
+    bucket_leaders:Proto.Ids.node_id array ->
+    unit;
+  epoch_gate : (t -> epoch:int -> (unit -> unit) -> unit) option;
+}
+
+let default_hooks =
+  {
+    on_batch_deliver = (fun _ ~sn:_ ~first_request_sn:_ _ -> ());
+    on_deliver = None;
+    on_epoch_start = (fun _ ~epoch:_ ~leaders:_ ~bucket_leaders:_ -> ());
+    epoch_gate = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let id t = t.id
+let config t = t.config
+let current_epoch t = t.epoch.e_num
+let log t = t.log
+let is_halted t = t.halted
+let delivered_count t = Log.total_delivered t.log
+let epoch_leaders t = t.epoch.e_leaders
+let bucket_leader t ~bucket = t.epoch.e_bucket_leaders.(bucket)
+let set_straggler t b = t.straggler <- b
+
+let projected_bucket_leader ~config ~epoch ~bucket = (bucket + epoch) mod config.Config.n
+
+let pending_requests t = Array.fold_left (fun acc q -> acc + Bucket_queue.length q) 0 t.buckets
+
+let last_stable_checkpoint t =
+  Hashtbl.fold
+    (fun _ (cert : Proto.Message.checkpoint_cert) best ->
+      match best with
+      | Some (b : Proto.Message.checkpoint_cert) when b.cc_epoch >= cert.cc_epoch -> best
+      | _ -> Some cert)
+    t.stable_certs None
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing *)
+
+let send t ~dst msg =
+  if dst = t.id then
+    (* Loopback: bypass the NIC, keep a small scheduling delay so local
+       delivery stays asynchronous (as a channel to self would be). *)
+    ignore
+      (Engine.schedule t.engine ~delay:(Time_ns.us 10) (fun () ->
+           if not t.halted then t.self_handler ~src:t.id msg))
+  else t.raw_send ~dst msg
+
+let broadcast t msg =
+  for dst = 0 to t.config.Config.n - 1 do
+    send t ~dst msg
+  done
+
+let charge_cpu t cost k =
+  let effective = cost / t.config.Config.cpu_parallelism in
+  let start = max (Engine.now t.engine) t.cpu_free in
+  let done_at = Time_ns.add start effective in
+  t.cpu_free <- done_at;
+  ignore (Engine.schedule_at t.engine ~at:done_at (fun () -> if not t.halted then k ()))
+
+(* Horizon-only variant for fire-and-forget CPU accounting (no event). *)
+let charge_cpu_sync t cost =
+  let effective = cost / t.config.Config.cpu_parallelism in
+  t.cpu_free <- Time_ns.add (max (Engine.now t.engine) t.cpu_free) effective
+
+let cp_quorum t =
+  match t.config.Config.protocol with
+  | Config.Raft -> Proto.Ids.majority ~n:t.config.Config.n
+  | Config.PBFT | Config.HotStuff -> Proto.Ids.quorum ~n:t.config.Config.n
+
+let epoch_of_instance t instance = instance / t.config.Config.n
+
+(* ------------------------------------------------------------------ *)
+(* Request intake (§3.7) *)
+
+let request_acceptable t (r : Proto.Request.t) =
+  if not t.config.Config.strict_validation then
+    (* Relaxed mode (large benchmarks): the node still refuses requests it
+       has already committed — resubmitted copies of delivered requests
+       must not re-enter the queues — but skips the watermark-window check,
+       whose back-pressure semantics would require full client
+       retransmission machinery the modeled workload does not have. *)
+    (not (Watermarks.delivered t.watermarks r.id))
+    && ((not t.config.Config.client_signatures) || Proto.Request.signature_valid r)
+  else
+    (not (Watermarks.delivered t.watermarks r.id))
+    && Watermarks.valid t.watermarks r.id
+    && ((not t.config.Config.client_signatures) || Proto.Request.signature_valid r)
+
+let rec submit t (r : Proto.Request.t) =
+  if (not t.halted) && request_acceptable t r then begin
+    let key = Proto.Request.id_key r.id in
+    let bucket = Proto.Request.bucket_of_id ~num_buckets:(Config.num_buckets t.config) r.id in
+    let seq =
+      match Hashtbl.find_opt t.arrival_seq key with
+      | Some s -> s  (* retransmission: keep the original arrival order *)
+      | None ->
+          let s = t.arrival_counter in
+          t.arrival_counter <- s + 1;
+          Hashtbl.replace t.arrival_seq key s;
+          s
+    in
+    if Bucket_queue.add t.buckets.(bucket) ~seq r then begin
+      if t.config.Config.client_signatures then
+        charge_cpu_sync t Iss_crypto.Signature.verify_cost_ns;
+      match t.bucket_batcher.(bucket) with
+      | Some b -> try_cut t b
+      | None -> ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batching: the propose() logic of Algorithm 2 plus the paper's
+   rate-limiting (§4.4.1) and the straggler behaviour of §6.4.2. *)
+
+and segment_pending t (seg : Segment.t) =
+  List.fold_left (fun acc b -> acc + Bucket_queue.length t.buckets.(b)) 0 seg.Segment.buckets
+
+and cut_segment_batch t (seg : Segment.t) =
+  (* k-way merge: repeatedly take the globally oldest request across the
+     segment's bucket queues (cutBatch of Algorithm 2). *)
+  let max_size = t.config.Config.max_batch_size in
+  let out = ref [] in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue && !count < max_size do
+    let best = ref None in
+    List.iter
+      (fun b ->
+        match Bucket_queue.oldest_seq t.buckets.(b) with
+        | Some s -> (
+            match !best with
+            | Some (s', _) when s' <= s -> ()
+            | _ -> best := Some (s, b))
+        | None -> ())
+      seg.Segment.buckets;
+    match !best with
+    | None -> continue := false
+    | Some (_, b) -> (
+        match Bucket_queue.cut t.buckets.(b) ~max:1 with
+        | [| r |] ->
+            out := r :: !out;
+            incr count
+        | _ -> continue := false)
+  done;
+  Proto.Batch.make (Array.of_list (List.rev !out))
+
+and try_cut t (b : batcher) =
+  if (not t.halted) && not (Queue.is_empty b.waiting) then begin
+    let now = Engine.now t.engine in
+    let interval =
+      if t.straggler then t.config.Config.epoch_change_timeout / 2 else b.b_interval
+    in
+    let ready_at = Time_ns.add b.last_cut interval in
+    let pending = if t.straggler then 0 else segment_pending t b.b_seg in
+    let full = pending >= t.config.Config.max_batch_size in
+    let mbt = t.config.Config.max_batch_timeout in
+    let deadline = Time_ns.add b.last_cut (max interval mbt) in
+    (* pending = 0: nothing worth proposing; an empty keep-alive batch goes
+       out only every [keepalive] (PBFT primary behaviour, §4.2.1), except
+       under a zero batch timeout (HotStuff) where the pipeline must keep
+       moving. *)
+    let keepalive = max interval (t.config.Config.epoch_change_timeout / 2) in
+    let cut_now =
+      now >= ready_at
+      &&
+      if t.straggler then true
+      else if pending = 0 then mbt = 0 || now >= Time_ns.add b.last_cut keepalive
+      else mbt = 0 || full || now >= deadline
+    in
+    if cut_now then begin
+      let sn, callback = Queue.pop b.waiting in
+      let batch = if t.straggler then Proto.Batch.empty else cut_segment_batch t b.b_seg in
+      b.last_cut <- now;
+      Hashtbl.replace t.proposed sn batch;
+      Proto.Batch.iter
+        (fun r -> Hashtbl.replace t.seen_proposed (Proto.Request.id_key r.Proto.Request.id) sn)
+        batch;
+      (match b.timer with
+      | Some timer ->
+          Engine.cancel t.engine timer;
+          b.timer <- None
+      | None -> ());
+      callback (Proto.Proposal.Batch batch);
+      try_cut t b
+    end
+    else begin
+      let wake =
+        if now < ready_at then ready_at
+        else if pending = 0 && mbt > 0 then Time_ns.add b.last_cut keepalive
+        else deadline
+      in
+      (* Re-arm only when the required wake precedes the armed one (e.g. the
+         batch just became full); otherwise the pending timer re-evaluates
+         anyway.  This keeps arrival-driven pokes allocation-free. *)
+      let needs_rearm =
+        match b.timer with Some _ -> wake < b.wake_at | None -> true
+      in
+      if needs_rearm then begin
+        (match b.timer with Some timer -> Engine.cancel t.engine timer | None -> ());
+        b.wake_at <- wake;
+        b.timer <-
+          Some
+            (Engine.schedule t.engine ~delay:(Time_ns.diff wake now) (fun () ->
+                 b.timer <- None;
+                 try_cut t b))
+      end
+    end
+  end
+
+let request_batch t (b : batcher) ~sn callback =
+  Queue.push (sn, callback) b.waiting;
+  try_cut t b
+
+(* ------------------------------------------------------------------ *)
+(* Proposal validation — the follower-side checks of §4.2 (common design
+   principle 3). *)
+
+let validate_proposal t (seg : Segment.t) ~sn proposal =
+  match proposal with
+  | Proto.Proposal.Nil -> true
+  | Proto.Proposal.Batch _ when not t.config.Config.strict_validation ->
+      (* Relaxed mode for large fault-free benchmarks: trust the leader; the
+         simulated verification CPU cost is still charged by the orderer. *)
+      true
+  | Proto.Proposal.Batch batch ->
+      (* O(1) bucket-ownership check: a bucket belongs to this segment iff
+         the epoch's assignment maps it to the segment's leader.  Falls back
+         to the segment's own list for instances of older epochs. *)
+      let owns_bucket =
+        if seg.Segment.epoch = t.epoch.e_num then fun bucket ->
+          t.epoch.e_bucket_leaders.(bucket) = seg.Segment.leader
+        else fun bucket -> Segment.owns_bucket seg bucket
+      in
+      (* Single optimistic pass: check and record each request; honest
+         leaders never fail, so the rollback (un-recording what this call
+         added) only runs on actual violations. *)
+      let ok = ref true in
+      let recorded = ref [] in
+      (try
+         Proto.Batch.iter
+           (fun (r : Proto.Request.t) ->
+             let key = Proto.Request.id_key r.id in
+             let bucket =
+               Proto.Request.bucket_of_id ~num_buckets:(Config.num_buckets t.config) r.id
+             in
+             let seen_ok =
+               match Hashtbl.find_opt t.seen_proposed key with
+               | Some sn' -> sn' = sn
+               | None ->
+                   Hashtbl.replace t.seen_proposed key sn;
+                   recorded := key :: !recorded;
+                   true
+             in
+             if
+               (not seen_ok)
+               (* (a) request validity *)
+               || (t.config.Config.client_signatures && not (Proto.Request.signature_valid r))
+               || not (Watermarks.valid t.watermarks r.id)
+               (* (b) not committed in an earlier epoch *)
+               || Watermarks.delivered t.watermarks r.id
+               (* (c) maps to one of the segment's buckets *)
+               || not (owns_bucket bucket)
+             then begin
+               ok := false;
+               raise Exit
+             end)
+           batch
+       with Exit -> ());
+      if not !ok then List.iter (Hashtbl.remove t.seen_proposed) !recorded;
+      !ok
+
+(* ------------------------------------------------------------------ *)
+(* Commit path: SB-DELIVER -> log -> delivery -> epoch advancement *)
+
+let resurrect t (batch : Proto.Batch.t) =
+  Proto.Batch.iter
+    (fun (r : Proto.Request.t) ->
+      let key = Proto.Request.id_key r.id in
+      if not (Watermarks.delivered t.watermarks r.id) then begin
+        let bucket = Proto.Request.bucket_of_id ~num_buckets:(Config.num_buckets t.config) r.id in
+        let seq =
+          match Hashtbl.find_opt t.arrival_seq key with Some s -> s | None -> t.arrival_counter
+        in
+        Bucket_queue.resurrect t.buckets.(bucket) ~seq r;
+        match t.bucket_batcher.(bucket) with Some b -> try_cut t b | None -> ()
+      end)
+    batch
+
+let rec process_commit t ~sn proposal ~resurrectable =
+  if Log.commit t.log ~sn proposal then begin
+    (match proposal with
+    | Proto.Proposal.Batch batch ->
+        let strict = t.config.Config.strict_validation in
+        Proto.Batch.iter
+          (fun (r : Proto.Request.t) ->
+            if strict then begin
+              Watermarks.note_delivered t.watermarks r.id;
+              Hashtbl.remove t.arrival_seq (Proto.Request.id_key r.id);
+              let bucket =
+                Proto.Request.bucket_of_id ~num_buckets:(Config.num_buckets t.config) r.id
+              in
+              ignore (Bucket_queue.remove t.buckets.(bucket) r.id)
+            end
+            else begin
+              (* Relaxed: record delivery (cheap ring bitmap — this is what
+                 rejects re-submitted copies of committed requests) and
+                 evict the request if this node holds it; non-holders pay
+                 one hash probe. *)
+              Watermarks.note_delivered t.watermarks r.id;
+              let bucket =
+                Proto.Request.bucket_of_id ~num_buckets:(Config.num_buckets t.config) r.id
+              in
+              match Bucket_queue.remove t.buckets.(bucket) r.id with
+              | Some _ -> Hashtbl.remove t.arrival_seq (Proto.Request.id_key r.id)
+              | None -> ()
+            end)
+          batch
+    | Proto.Proposal.Nil -> (
+        (* If I proposed a batch for this position and ⊥ was delivered
+           instead, return the requests to their queues (Algorithm 1
+           line 47). *)
+        if resurrectable then
+          match Hashtbl.find_opt t.proposed sn with
+          | Some mine -> resurrect t mine
+          | None -> ()));
+    (* Deliver the contiguous prefix. *)
+    ignore
+      (Log.deliver_ready t.log ~on_batch:(fun ~sn ~first_request_sn batch ->
+           t.hooks.on_batch_deliver t ~sn ~first_request_sn batch;
+           match t.hooks.on_deliver with
+           | Some f ->
+               let reqs = Proto.Batch.requests batch in
+               Array.iteri
+                 (fun k request ->
+                   f t { Log.request; request_sn = first_request_sn + k; batch_sn = sn })
+                 reqs
+           | None -> ()));
+    (* Epoch bookkeeping. *)
+    let e = t.epoch in
+    if sn >= e.e_start && sn < e.e_start + e.e_len then begin
+      e.e_remaining <- e.e_remaining - 1;
+      if e.e_remaining = 0 then finish_epoch t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Epoch lifecycle (Algorithm 1 lines 50-52, Algorithm 3) *)
+
+and finish_epoch t =
+  let e = t.epoch in
+  (* Failure evidence: ⊥ entries, attributed to their segment leaders. *)
+  let nils = Log.nil_entries t.log ~from_sn:e.e_start ~to_sn:(e.e_start + e.e_len - 1) in
+  let num_leaders = Array.length e.e_leaders in
+  let failed =
+    List.map (fun sn -> (e.e_leaders.((sn - e.e_start) mod num_leaders), sn)) nils
+  in
+  (* Per-leader segment statistics for the STRAGGLER-AWARE policy (cheap:
+     one pass over the epoch's log entries, identical at every node). *)
+  let batches = Array.make num_leaders 0 in
+  let empties = Array.make num_leaders 0 in
+  let requests = Array.make num_leaders 0 in
+  for sn = e.e_start to e.e_start + e.e_len - 1 do
+    let k = (sn - e.e_start) mod num_leaders in
+    match Log.get t.log ~sn with
+    | Some (Proto.Proposal.Batch b) ->
+        batches.(k) <- batches.(k) + 1;
+        let len = Proto.Batch.length b in
+        if len = 0 then empties.(k) <- empties.(k) + 1;
+        requests.(k) <- requests.(k) + len
+    | Some Proto.Proposal.Nil | None -> ()
+  done;
+  let stats =
+    List.init num_leaders (fun k ->
+        {
+          Leader_policy.ls_leader = e.e_leaders.(k);
+          ls_batches = batches.(k);
+          ls_empty = empties.(k);
+          ls_requests = requests.(k);
+        })
+  in
+  Leader_policy.epoch_finished t.policy ~epoch:e.e_num ~failed ~stats ();
+  (* Checkpoint (§3.5): sign the Merkle root over the epoch's batches. *)
+  let digests = Log.batch_digests t.log ~from_sn:e.e_start ~to_sn:(e.e_start + e.e_len - 1) in
+  let root = Iss_crypto.Merkle.root digests in
+  let max_sn = e.e_start + e.e_len - 1 in
+  let material = Proto.Message.checkpoint_material ~epoch:e.e_num ~max_sn ~root in
+  let sig_ = Iss_crypto.Signature.sign t.keypair material in
+  charge_cpu t Iss_crypto.Signature.sign_cost_ns (fun () -> ());
+  broadcast t (Proto.Message.Checkpoint_msg { epoch = e.e_num; max_sn; root; signer = t.id; sig_ });
+  (* Find the next epoch with a non-empty leader set (BACKOFF can produce
+     leaderless epochs; the paper skips them). *)
+  let next = ref (e.e_num + 1) in
+  let leaders = ref (Leader_policy.leaders t.policy ~epoch:!next) in
+  let guard = ref 0 in
+  while Array.length !leaders = 0 do
+    incr guard;
+    if !guard > 100_000 then failwith "Node: leader policy yields no leaders indefinitely";
+    Leader_policy.epoch_finished t.policy ~epoch:!next ~failed:[] ();
+    Hashtbl.replace t.epoch_bounds !next (e.e_start + e.e_len, 0);
+    incr next;
+    leaders := Leader_policy.leaders t.policy ~epoch:!next
+  done;
+  let next = !next and leaders = !leaders in
+  let start_sn = e.e_start + e.e_len in
+  let proceed () = start_epoch t ~epoch:next ~start_sn ~leaders in
+  match t.hooks.epoch_gate with
+  | Some gate -> gate t ~epoch:next proceed
+  | None -> proceed ()
+
+and start_epoch t ~epoch ~start_sn ~leaders =
+  if not t.halted then begin
+    let segments = Segment.make_epoch ~config:t.config ~epoch ~start_sn ~leaders in
+    let len = Config.epoch_length t.config ~leaders:(Array.length leaders) in
+    let bucket_leaders =
+      Bucket_assignment.assign ~n:t.config.Config.n
+        ~num_buckets:(Config.num_buckets t.config)
+        ~epoch ~leaders
+    in
+    Hashtbl.replace t.epoch_bounds epoch (start_sn, len);
+    Hashtbl.reset t.seen_proposed;
+    (* Some positions may already be committed (state transfer outran the
+       epoch machinery); count only the genuinely open ones. *)
+    let remaining = ref 0 in
+    for sn = start_sn to start_sn + len - 1 do
+      if not (Log.is_committed t.log ~sn) then incr remaining
+    done;
+    t.epoch <-
+      {
+        e_num = epoch;
+        e_start = start_sn;
+        e_len = len;
+        e_leaders = leaders;
+        e_segments = segments;
+        e_bucket_leaders = bucket_leaders;
+        e_remaining = !remaining;
+      };
+    (* Tear down batchers of the previous epoch. *)
+    List.iter
+      (fun b -> match b.timer with Some timer -> Engine.cancel t.engine timer | None -> ())
+      t.my_batchers;
+    t.my_batchers <- [];
+    Array.fill t.bucket_batcher 0 (Array.length t.bucket_batcher) None;
+    (* Instantiate one SB orderer per segment; set up batchers for mine. *)
+    let num_leaders = Array.length leaders in
+    let interval =
+      match t.config.Config.batch_rate with
+      | Some rate ->
+          max t.config.Config.min_batch_timeout
+            (Time_ns.of_sec_f (float_of_int num_leaders /. rate))
+      | None -> t.config.Config.min_batch_timeout
+    in
+    List.iter
+      (fun (seg : Segment.t) ->
+        if seg.Segment.leader = t.id then begin
+          let b =
+            {
+              b_seg = seg;
+              b_interval = interval;
+              waiting = Queue.create ();
+              last_cut = Engine.now t.engine;
+              timer = None;
+              wake_at = Time_ns.zero;
+            }
+          in
+          t.my_batchers <- b :: t.my_batchers;
+          List.iter (fun bucket -> t.bucket_batcher.(bucket) <- Some b) seg.Segment.buckets
+        end)
+      segments;
+    List.iter
+      (fun (seg : Segment.t) ->
+        let ctx = make_ctx t seg in
+        let instance = t.orderer_factory ctx seg in
+        Hashtbl.replace t.orderers seg.Segment.instance instance;
+        Orderer_intf.start instance)
+      segments;
+    t.hooks.on_epoch_start t ~epoch ~leaders ~bucket_leaders;
+    if t.epoch.e_remaining = 0 then finish_epoch t;
+    (* GC instances of epochs whose checkpoint stabilized while we were
+       still catching up. *)
+    gc_stable t;
+    (* Replay messages that arrived before we entered this epoch. *)
+    (match Hashtbl.find_opt t.future_buffer epoch with
+    | Some msgs ->
+        let replay = List.rev !msgs in
+        Hashtbl.remove t.future_buffer epoch;
+        List.iter (fun (src, msg) -> handle_message t ~src msg) replay
+    | None -> ());
+    arm_lag_check t
+  end
+
+and make_ctx t (seg : Segment.t) : Orderer_intf.ctx =
+  let batcher =
+    if seg.Segment.leader = t.id then
+      List.find_opt (fun b -> b.b_seg.Segment.instance = seg.Segment.instance) t.my_batchers
+    else None
+  in
+  {
+    Orderer_intf.node = t.id;
+    config = t.config;
+    engine = t.engine;
+    send = (fun ~dst msg -> send t ~dst msg);
+    broadcast = (fun msg -> broadcast t msg);
+    announce = (fun ~sn proposal -> process_commit t ~sn proposal ~resurrectable:true);
+    request_batch =
+      (fun ~sn callback ->
+        match batcher with
+        | Some b -> request_batch t b ~sn callback
+        | None -> invalid_arg "Orderer requested a batch on a non-leader node");
+    charge_cpu = (fun cost k -> charge_cpu t cost k);
+    keypair = t.keypair;
+    threshold_group = t.threshold_group;
+    report_suspect = (fun _ -> ());
+    validate_proposal = (fun seg ~sn proposal -> validate_proposal t seg ~sn proposal);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints (§3.5) *)
+
+and handle_checkpoint t ~epoch ~max_sn ~root ~signer ~sig_ =
+  let material = Proto.Message.checkpoint_material ~epoch ~max_sn ~root in
+  if Iss_crypto.Signature.verify (Iss_crypto.Signature.public_of_id signer) material sig_ then begin
+    let cp =
+      match Hashtbl.find_opt t.checkpoints epoch with
+      | Some cp -> cp
+      | None ->
+          let cp = { cp_votes = Hashtbl.create 8; cp_stable = false } in
+          Hashtbl.replace t.checkpoints epoch cp;
+          cp
+    in
+    if not (Hashtbl.mem cp.cp_votes signer) then begin
+      Hashtbl.replace cp.cp_votes signer { v_max_sn = max_sn; v_root = root; v_sig = sig_ };
+      if not cp.cp_stable then begin
+        let matching =
+          Hashtbl.fold
+            (fun node v acc ->
+              if v.v_max_sn = max_sn && Iss_crypto.Hash.equal v.v_root root then
+                (node, v.v_sig) :: acc
+              else acc)
+            cp.cp_votes []
+        in
+        if List.length matching >= cp_quorum t then begin
+          cp.cp_stable <- true;
+          Hashtbl.replace t.stable_certs epoch
+            { Proto.Message.cc_epoch = epoch; cc_max_sn = max_sn; cc_root = root; cc_sigs = matching };
+          gc_stable t
+        end
+      end
+    end
+  end
+
+and gc_stable t =
+  (* Garbage-collect orderer instances of epochs that are both behind us and
+     covered by a stable checkpoint. *)
+  let current = t.epoch.e_num in
+  let to_remove = ref [] in
+  Hashtbl.iter
+    (fun instance _ ->
+      let e = epoch_of_instance t instance in
+      if e < current && Hashtbl.mem t.stable_certs e then to_remove := instance :: !to_remove)
+    t.orderers;
+  List.iter
+    (fun instance ->
+      (match Hashtbl.find_opt t.orderers instance with
+      | Some inst -> Orderer_intf.stop inst
+      | None -> ());
+      Hashtbl.remove t.orderers instance)
+    !to_remove
+
+(* ------------------------------------------------------------------ *)
+(* State transfer (§3.5) *)
+
+and arm_lag_check t =
+  let epoch_at_arm = t.epoch.e_num in
+  ignore
+    (Engine.schedule t.engine ~delay:(2 * t.config.Config.epoch_change_timeout) (fun () ->
+         if (not t.halted) && t.epoch.e_num = epoch_at_arm then begin
+           (* Still in the same epoch after two epoch-change timeouts; if
+              the rest of the system has moved on — evidenced by a stable
+              checkpoint for our epoch or any later one (nodes rebroadcast
+              nothing for long-finished epochs, so a laggard typically only
+              collects certificates of newer epochs) — fetch the log
+              instead of waiting. *)
+           let evidence =
+             Hashtbl.fold
+               (fun e cert best ->
+                 if e >= epoch_at_arm then
+                   match best with
+                   | Some (be, _) when be >= e -> best
+                   | _ -> Some (e, cert)
+                 else best)
+               t.stable_certs None
+           in
+           match evidence with
+           | Some (_, cert) ->
+               let target = pick_st_target t cert in
+               send t ~dst:target (Proto.Message.State_request { from_sn = t.epoch.e_start });
+               arm_lag_check t
+           | None -> arm_lag_check t
+         end))
+
+and pick_st_target t (cert : Proto.Message.checkpoint_cert) =
+  let signers = Array.of_list (List.map fst cert.cc_sigs) in
+  let signers = Array.of_list (List.filter (fun s -> s <> t.id) (Array.to_list signers)) in
+  if Array.length signers = 0 then (t.id + 1) mod t.config.Config.n
+  else begin
+    t.st_target <- t.st_target + 1;
+    signers.(t.st_target mod Array.length signers)
+  end
+
+and handle_state_request t ~src ~from_sn =
+  (* Answer with every stable epoch that covers [from_sn] onwards, each as a
+     self-contained (entries, certificate) pair. *)
+  Hashtbl.iter
+    (fun epoch (cert : Proto.Message.checkpoint_cert) ->
+      match Hashtbl.find_opt t.epoch_bounds epoch with
+      | Some (start, len) when len > 0 && start + len - 1 >= from_sn ->
+          if Log.range_complete t.log ~from_sn:start ~to_sn:(start + len - 1) then begin
+            let entries =
+              List.init len (fun i ->
+                  let sn = start + i in
+                  match Log.get t.log ~sn with
+                  | Some p -> (sn, p)
+                  | None -> assert false)
+            in
+            send t ~dst:src (Proto.Message.State_reply { entries; cert })
+          end
+      | Some _ | None -> ())
+    t.stable_certs
+
+and handle_state_reply t ~entries ~(cert : Proto.Message.checkpoint_cert) =
+  (* Verify the certificate: a quorum of valid signatures over the announced
+     root, and the entries actually hash to that root. *)
+  let material =
+    Proto.Message.checkpoint_material ~epoch:cert.cc_epoch ~max_sn:cert.cc_max_sn
+      ~root:cert.cc_root
+  in
+  let valid_sigs =
+    List.filter
+      (fun (node, s) ->
+        Iss_crypto.Signature.verify (Iss_crypto.Signature.public_of_id node) material s)
+      cert.cc_sigs
+  in
+  let distinct = List.sort_uniq compare (List.map fst valid_sigs) in
+  if List.length distinct >= cp_quorum t then begin
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+    let digests = Array.of_list (List.map (fun (_, p) -> Proto.Proposal.digest p) sorted) in
+    let contiguous =
+      match sorted with
+      | [] -> false
+      | (first, _) :: _ ->
+          List.for_all2
+            (fun (sn, _) i -> sn = first + i)
+            sorted
+            (List.init (List.length sorted) (fun i -> i))
+          && first + List.length sorted - 1 = cert.cc_max_sn
+    in
+    if contiguous && Iss_crypto.Hash.equal (Iss_crypto.Merkle.root digests) cert.cc_root then begin
+      (* Adopt the certificate (so we can serve it onwards) and commit. *)
+      if not (Hashtbl.mem t.stable_certs cert.cc_epoch) then begin
+        Hashtbl.replace t.stable_certs cert.cc_epoch cert;
+        (match sorted with
+        | (first, _) :: _ ->
+            Hashtbl.replace t.epoch_bounds cert.cc_epoch (first, List.length sorted)
+        | [] -> ())
+      end;
+      List.iter (fun (sn, p) -> process_commit t ~sn p ~resurrectable:false) sorted
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message dispatch *)
+
+and handle_message t ~src msg =
+  if not t.halted then begin
+    match msg with
+    | Proto.Message.Request_msg r -> submit t r
+    | Proto.Message.Checkpoint_msg { epoch; max_sn; root; signer; sig_ } ->
+        handle_checkpoint t ~epoch ~max_sn ~root ~signer ~sig_
+    | Proto.Message.State_request { from_sn } -> handle_state_request t ~src ~from_sn
+    | Proto.Message.State_reply { entries; cert } -> handle_state_reply t ~entries ~cert
+    | Proto.Message.Pbft { instance; _ }
+    | Proto.Message.Hotstuff { instance; _ }
+    | Proto.Message.Raft { instance; _ } ->
+        route_instance t ~src ~instance msg
+    | Proto.Message.Reply _ | Proto.Message.Bucket_update _ | Proto.Message.Fd_heartbeat
+    | Proto.Message.Mir_epoch_change _ ->
+        ()
+  end
+
+and route_instance t ~src ~instance msg =
+  let msg_epoch = epoch_of_instance t instance in
+  if msg_epoch > t.epoch.e_num then begin
+    let buf =
+      match Hashtbl.find_opt t.future_buffer msg_epoch with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.replace t.future_buffer msg_epoch b;
+          b
+    in
+    buf := (src, msg) :: !buf
+  end
+  else begin
+    match Hashtbl.find_opt t.orderers instance with
+    | Some inst -> Orderer_intf.on_message inst ~src msg
+    | None -> ()  (* instance already garbage-collected; late message *)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let create ~config ~id ~engine ~send:raw_send ~orderer_factory ?(hooks = default_hooks) () =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Node.create: " ^ e));
+  let num_buckets = Config.num_buckets config in
+  let n = config.Config.n in
+  let f = Config.max_faulty config in
+  let t =
+    {
+      config;
+      id;
+      engine;
+      raw_send;
+      orderer_factory;
+      hooks;
+      keypair = Iss_crypto.Signature.genkey ~id;
+      threshold_group = Iss_crypto.Threshold.setup ~n ~t:(min n ((2 * f) + 1));
+      log = Log.create ();
+      buckets = Array.init num_buckets (fun _ -> Bucket_queue.create ());
+      arrival_seq = Hashtbl.create 65536;
+      arrival_counter = 0;
+      seen_proposed = Hashtbl.create 65536;
+      proposed = Hashtbl.create 64;
+      watermarks = Watermarks.create ~window:config.Config.client_watermark_window;
+      policy = Leader_policy.create config;
+      epoch =
+        {
+          e_num = -1;
+          e_start = 0;
+          e_len = 0;
+          e_leaders = [||];
+          e_segments = [];
+          e_bucket_leaders = [||];
+          e_remaining = max_int;
+        };
+      orderers = Hashtbl.create 64;
+      future_buffer = Hashtbl.create 8;
+      my_batchers = [];
+      bucket_batcher = Array.make num_buckets None;
+      checkpoints = Hashtbl.create 16;
+      stable_certs = Hashtbl.create 16;
+      epoch_bounds = Hashtbl.create 16;
+      cpu_free = Time_ns.zero;
+      halted = false;
+      straggler = false;
+      st_target = 0;
+      self_handler = (fun ~src:_ _ -> ());
+    }
+  in
+  t.self_handler <- (fun ~src msg -> handle_message t ~src msg);
+  t
+
+let start t =
+  let leaders = Leader_policy.leaders t.policy ~epoch:0 in
+  if Array.length leaders = 0 then invalid_arg "Node.start: no leaders for epoch 0";
+  start_epoch t ~epoch:0 ~start_sn:0 ~leaders
+
+let on_message t ~src msg = handle_message t ~src msg
+
+let halt t =
+  t.halted <- true;
+  List.iter
+    (fun b -> match b.timer with Some timer -> Engine.cancel t.engine timer | None -> ())
+    t.my_batchers

@@ -1,0 +1,92 @@
+(** An ISS replica: the Manager/Orderer assembly of paper §4.1.
+
+    The node owns the log, the bucket queues, epoch advancement, leader
+    selection, batching (with rate limiting), checkpointing and state
+    transfer.  Ordering itself is delegated to per-segment SB instances
+    created through an {!orderer_factory} — this is where PBFT, HotStuff or
+    Raft plug in.
+
+    The node is transport-agnostic: it receives a [send] function and
+    exposes {!on_message}; the runner wires both to the simulated network
+    (or a test can call them directly). *)
+
+type t
+
+type orderer_factory = Orderer_intf.ctx -> Segment.t -> Orderer_intf.instance
+
+type hooks = {
+  on_batch_deliver : t -> sn:int -> first_request_sn:int -> Proto.Batch.t -> unit;
+      (** Fired once per non-empty batch as the delivery frontier passes it,
+          in log order.  Request [k] of the batch has global request
+          sequence number [first_request_sn + k] (Eq. 2).  This is the
+          high-throughput measurement hook. *)
+  on_deliver : (t -> Log.delivery -> unit) option;
+      (** Optional per-request delivery events, derived from the batch hook
+          (reply to a client, execute against an application state machine).
+          [None] skips the per-request iteration entirely. *)
+  on_epoch_start :
+    t -> epoch:int -> leaders:Proto.Ids.node_id array -> bucket_leaders:Proto.Ids.node_id array -> unit;
+      (** Fired when the node enters an epoch; [bucket_leaders.(b)] is the
+          leader bucket [b] is assigned to (what §4.3 broadcasts to
+          clients). *)
+  epoch_gate : (t -> epoch:int -> (unit -> unit) -> unit) option;
+      (** When set, epoch [e > 0] only starts once the gate invokes the
+          continuation — the hook the Mir-BFT model uses to stall epoch
+          transitions behind an epoch primary.  [None]: start immediately. *)
+}
+
+val default_hooks : hooks
+
+val create :
+  config:Config.t ->
+  id:Proto.Ids.node_id ->
+  engine:Sim.Engine.t ->
+  send:(dst:int -> Proto.Message.t -> unit) ->
+  orderer_factory:orderer_factory ->
+  ?hooks:hooks ->
+  unit ->
+  t
+
+val start : t -> unit
+(** Enter epoch 0 and begin ordering. *)
+
+val on_message : t -> src:int -> Proto.Message.t -> unit
+
+val submit : t -> Proto.Request.t -> unit
+(** Local request injection — what a [Request_msg] arrival does, minus the
+    network.  The runner's modeled clients use this; the full client path
+    goes through {!on_message}. *)
+
+val halt : t -> unit
+(** Crash the node: it stops reacting to messages and timers.  (The runner
+    additionally severs its network endpoint.) *)
+
+val is_halted : t -> bool
+
+val set_straggler : t -> bool -> unit
+(** Byzantine straggler mode (§6.4.2): the node delays its proposals to just
+    under the suspicion timeout and proposes empty batches, while following
+    the protocol otherwise. *)
+
+(** {2 Introspection} *)
+
+val id : t -> Proto.Ids.node_id
+val config : t -> Config.t
+val current_epoch : t -> int
+val log : t -> Log.t
+val pending_requests : t -> int
+(** Requests currently queued in this node's buckets. *)
+
+val delivered_count : t -> int
+val last_stable_checkpoint : t -> Proto.Message.checkpoint_cert option
+val epoch_leaders : t -> Proto.Ids.node_id array
+(** Leaders of the node's current epoch. *)
+
+val bucket_leader : t -> bucket:int -> Proto.Ids.node_id
+(** Current owner of a bucket (for client leader detection). *)
+
+val projected_bucket_leader : config:Config.t -> epoch:int -> bucket:int -> Proto.Ids.node_id
+(** The initial-assignment owner of [bucket] in [epoch] (Eq. 1), used by
+    clients to guess the next epochs' leaders without knowing the leader
+    set (§4.3: requests are also sent to the projected owners of the next
+    two epochs). *)

@@ -1,0 +1,72 @@
+(* Per-client delivery tracking with an allocation-free ring bitmap.
+
+   For each client we keep [floor] (length of the contiguously delivered
+   timestamp prefix) and a ring of bits for timestamps in
+   [floor, floor + capacity).  The watermark validity check bounds accepted
+   timestamps to [floor + window), and floors across nodes diverge by at
+   most the in-flight window, so [capacity = 4 * window] comfortably covers
+   every timestamp that can be delivered while its bit is still in range.
+   The rare overflow falls back to treating the timestamp as delivered only
+   via floor advancement (safe: false-negative [delivered] only risks a
+   duplicate proposal attempt, which validation rejects elsewhere). *)
+
+type client_state = {
+  mutable floor : int;
+  bits : Bytes.t;  (* ring bitmap over [floor, floor + capacity) *)
+}
+
+type t = { window : int; capacity : int; clients : (int, client_state) Hashtbl.t }
+
+let create ~window =
+  assert (window > 0);
+  { window; capacity = 4 * window; clients = Hashtbl.create 64 }
+
+let state t client =
+  match Hashtbl.find_opt t.clients client with
+  | Some s -> s
+  | None ->
+      let s = { floor = 0; bits = Bytes.make ((t.capacity + 7) / 8) '\000' } in
+      Hashtbl.replace t.clients client s;
+      s
+
+let get_bit t s ts =
+  let i = ts mod t.capacity in
+  Char.code (Bytes.unsafe_get s.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit t s ts v =
+  let i = ts mod t.capacity in
+  let byte = Char.code (Bytes.unsafe_get s.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.unsafe_set s.bits (i lsr 3) (Char.unsafe_chr byte)
+
+let valid t (id : Proto.Request.id) =
+  let s = state t id.client in
+  id.ts >= s.floor && id.ts < s.floor + t.window
+
+let note_delivered t (id : Proto.Request.id) =
+  let s = state t id.client in
+  if id.ts >= s.floor then
+    if id.ts < s.floor + t.capacity then begin
+      set_bit t s id.ts true;
+      (* Advance the floor over the contiguous delivered prefix, clearing
+         bits as they leave the window. *)
+      while get_bit t s s.floor do
+        set_bit t s s.floor false;
+        s.floor <- s.floor + 1
+      done
+    end
+    else
+      (* Out of ring range (cannot happen while acceptance windows hold);
+         degrade safely by advancing the floor — everything below is forced
+         delivered, which can only suppress, never duplicate. *)
+      s.floor <- id.ts + 1 - t.capacity
+
+let delivered t (id : Proto.Request.id) =
+  match Hashtbl.find_opt t.clients id.client with
+  | None -> false
+  | Some s ->
+      id.ts < s.floor || (id.ts < s.floor + t.capacity && get_bit t s id.ts)
+
+let floor t client = (state t client).floor
+let window t = t.window

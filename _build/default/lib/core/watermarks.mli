@@ -1,0 +1,32 @@
+(** Per-client request watermark windows (paper §3.7).
+
+    Clients may have at most [window] requests in flight: request timestamps
+    must fall inside [\[floor, floor + window)], where [floor] is the length
+    of the client's contiguously delivered timestamp prefix.  This bounds
+    both buffer usage and a malicious client's ability to bias the
+    bucket-distribution (it controls only [window] choices of timestamp).
+
+    The paper advances windows at epoch boundaries; we advance the floor as
+    deliveries arrive, which admits a superset of the paper's valid requests
+    and is equally safe (duplicates are filtered by delivery tracking). *)
+
+type t
+
+val create : window:int -> t
+
+val valid : t -> Proto.Request.id -> bool
+(** [floor <= ts < floor + window] for the request's client. *)
+
+val note_delivered : t -> Proto.Request.id -> unit
+(** Record a delivered timestamp; advances the client's floor past every
+    contiguously delivered prefix. *)
+
+val delivered : t -> Proto.Request.id -> bool
+(** Whether the request's timestamp was recorded as delivered — i.e. it is
+    below the client's floor or in the out-of-order set.  This doubles as
+    the committed-request check for deduplication: the structure stores the
+    complete delivery history in O(clients + out-of-order window) memory
+    instead of one entry per request ever committed. *)
+
+val floor : t -> Proto.Ids.client_id -> int
+val window : t -> int

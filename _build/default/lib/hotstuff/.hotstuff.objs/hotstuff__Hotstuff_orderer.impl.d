@@ -1,0 +1,1 @@
+lib/hotstuff/hotstuff_orderer.ml: Array Core Hashtbl Iss_crypto List Printf Proto Sim

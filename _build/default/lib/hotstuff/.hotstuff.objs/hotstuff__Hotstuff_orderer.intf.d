@@ -1,0 +1,1 @@
+lib/hotstuff/hotstuff_orderer.mli: Core

@@ -1,0 +1,362 @@
+module Time_ns = Sim.Time_ns
+module Engine = Sim.Engine
+module Msg = Proto.Hotstuff_msg
+module Proposal = Proto.Proposal
+module Hash = Iss_crypto.Hash
+
+module Orderer = struct
+  type t = {
+    ctx : Core.Orderer_intf.ctx;
+    seg : Core.Segment.t;
+    n : int;
+    quorum : int;
+    chain : (string, Msg.chain_node) Hashtbl.t;  (* node digest (raw) -> node *)
+    qcs : (int, Msg.qc) Hashtbl.t;  (* view -> QC *)
+    shares : (int * string, (int, Iss_crypto.Threshold.share) Hashtbl.t) Hashtbl.t;
+        (* leader: (view, digest) -> voter -> share *)
+    new_views : (int, Msg.qc option) Hashtbl.t;  (* pacemaker: sender -> justify *)
+    decided : (int, unit) Hashtbl.t;  (* sn -> *)
+    mutable high_qc : Msg.qc option;
+    mutable locked_view : int;
+    mutable last_voted_view : int;
+    mutable rotations : int;  (* pacemaker leader rotations *)
+    mutable i_am_leader : bool;
+    mutable to_propose : int list;  (* sns still to put on the chain (leader) *)
+    mutable dummies_left : int;
+    mutable last_proposed : (int * Hash.t) option;  (* (view, digest) awaiting QC *)
+    mutable active : bool;
+    mutable timer : Engine.timer_id option;
+    mutable nv_wait : int option;  (* the new-view number I'm collecting for *)
+  }
+
+  let genesis_parent t =
+    Hash.of_string (Printf.sprintf "hs-genesis:%d" t.seg.Core.Segment.instance)
+
+  let create ctx seg =
+    let n = ctx.Core.Orderer_intf.config.Core.Config.n in
+    {
+      ctx;
+      seg;
+      n;
+      quorum = Proto.Ids.quorum ~n;
+      chain = Hashtbl.create 64;
+      qcs = Hashtbl.create 64;
+      shares = Hashtbl.create 16;
+      new_views = Hashtbl.create 8;
+      decided = Hashtbl.create 32;
+      high_qc = None;
+      locked_view = -1;
+      last_voted_view = -1;
+      rotations = 0;
+      i_am_leader = false;
+      to_propose = Array.to_list seg.Core.Segment.seq_nrs;
+      dummies_left = 3;
+      last_proposed = None;
+      active = false;
+      timer = None;
+      nv_wait = None;
+    }
+
+  let current_leader t = (t.seg.Core.Segment.leader + t.rotations) mod t.n
+
+  let me t = t.ctx.Core.Orderer_intf.node
+
+  let done_ t = Hashtbl.length t.decided >= Core.Segment.seq_count t.seg
+
+  let broadcast_hs t body =
+    t.ctx.Core.Orderer_intf.broadcast
+      (Proto.Message.Hotstuff { Msg.instance = t.seg.Core.Segment.instance; body })
+
+  let send_hs t ~dst body =
+    t.ctx.Core.Orderer_intf.send ~dst
+      (Proto.Message.Hotstuff { Msg.instance = t.seg.Core.Segment.instance; body })
+
+  let cancel_timer t =
+    match t.timer with
+    | Some timer ->
+        Engine.cancel t.ctx.Core.Orderer_intf.engine timer;
+        t.timer <- None
+    | None -> ()
+
+  (* ---- Decide pipeline ---------------------------------------------- *)
+
+  (* Announce a chain node and all its undecided ancestors, oldest first. *)
+  let rec decide_branch t (node : Msg.chain_node) =
+    (match Hashtbl.find_opt t.chain (Hash.raw node.Msg.parent) with
+    | Some parent -> decide_branch t parent
+    | None -> ());
+    if node.Msg.sn >= 0 && not (Hashtbl.mem t.decided node.Msg.sn) then begin
+      Hashtbl.replace t.decided node.Msg.sn ();
+      t.ctx.Core.Orderer_intf.announce ~sn:node.Msg.sn node.Msg.proposal;
+      if done_ t then cancel_timer t
+    end
+
+  (* Three-chain commit rule over consecutive views (paper Fig. 4). *)
+  let try_decide t (qc : Msg.qc) =
+    match Hashtbl.find_opt t.chain (Hash.raw qc.Msg.qc_digest) with
+    | None -> ()
+    | Some n2 -> (
+        match Hashtbl.find_opt t.chain (Hash.raw n2.Msg.parent) with
+        | Some n1 when n1.Msg.view = n2.Msg.view - 1 && Hashtbl.mem t.qcs n1.Msg.view -> (
+            match Hashtbl.find_opt t.chain (Hash.raw n1.Msg.parent) with
+            | Some n0 when n0.Msg.view = n1.Msg.view - 1 && Hashtbl.mem t.qcs n0.Msg.view ->
+                decide_branch t n0
+            | Some _ | None -> ())
+        | Some _ | None -> ())
+
+  let register_qc t (qc : Msg.qc) =
+    if not (Hashtbl.mem t.qcs qc.Msg.qc_view) then begin
+      Hashtbl.replace t.qcs qc.Msg.qc_view qc;
+      (match t.high_qc with
+      | Some h when h.Msg.qc_view >= qc.Msg.qc_view -> ()
+      | Some _ | None -> t.high_qc <- Some qc);
+      t.locked_view <- max t.locked_view (qc.Msg.qc_view - 1);
+      try_decide t qc
+    end
+
+  (* ---- Leader side ---------------------------------------------------- *)
+
+  (* Note: proposing must NOT stop when [done_ t] — the leader typically
+     decides the whole segment while replicas still need the trailing dummy
+     proposals to learn the final QCs (the pipeline flush of Fig. 4). *)
+  let rec propose_next t ~view ~parent ~justify =
+    if t.active && t.i_am_leader then begin
+      let make_and_send sn proposal =
+        let node = { Msg.view; sn; parent; proposal; justify } in
+        Hashtbl.replace t.chain (Hash.raw (Msg.node_digest node)) node;
+        t.last_proposed <- Some (view, Msg.node_digest node);
+        broadcast_hs t (Msg.Proposal_msg node)
+      in
+      match t.to_propose with
+      | sn :: rest ->
+          t.to_propose <- rest;
+          if me t = t.seg.Core.Segment.leader then
+            (* Original leader: cut a real batch (asynchronous: the ISS
+               batcher paces us). *)
+            t.ctx.Core.Orderer_intf.request_batch ~sn (fun proposal ->
+                if t.active && t.i_am_leader then make_and_send sn proposal)
+          else
+            (* Rotated leader: design principle 2 — only ⊥. *)
+            make_and_send sn Proposal.Nil
+      | [] ->
+          if t.dummies_left > 0 then begin
+            t.dummies_left <- t.dummies_left - 1;
+            make_and_send (-1) Proposal.Nil
+          end
+    end
+
+  and on_qc_formed t (qc : Msg.qc) =
+    register_qc t qc;
+    propose_next t ~view:(qc.Msg.qc_view + 1) ~parent:qc.Msg.qc_digest ~justify:(Some qc)
+
+  let handle_vote t ~src ~view ~digest share =
+    if t.active && t.i_am_leader then begin
+      match t.last_proposed with
+      | Some (v, d) when v = view && Hash.equal d digest ->
+          let key = (view, Hash.raw digest) in
+          let tbl =
+            match Hashtbl.find_opt t.shares key with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = Hashtbl.create 8 in
+                Hashtbl.replace t.shares key tbl;
+                tbl
+          in
+          if not (Hashtbl.mem tbl src) then begin
+            Hashtbl.replace tbl src share;
+            if Hashtbl.length tbl >= t.quorum then begin
+              let material =
+                Msg.vote_material ~instance:t.seg.Core.Segment.instance ~view digest
+              in
+              let shares = Hashtbl.fold (fun _ s acc -> s :: acc) tbl [] in
+              match
+                Iss_crypto.Threshold.combine t.ctx.Core.Orderer_intf.threshold_group material
+                  shares
+              with
+              | Some combined ->
+                  Hashtbl.remove t.shares key;
+                  t.last_proposed <- None;
+                  let qc = { Msg.qc_view = view; qc_digest = digest; qc_sig = combined } in
+                  let cost =
+                    Iss_crypto.Threshold.combine_cost_ns ~t:t.quorum
+                  in
+                  t.ctx.Core.Orderer_intf.charge_cpu cost (fun () ->
+                      if t.active then on_qc_formed t qc)
+              | None -> ()
+            end
+          end
+      | Some _ | None -> ()
+    end
+
+  (* ---- Replica side --------------------------------------------------- *)
+
+  let qc_valid t (qc : Msg.qc) =
+    let material =
+      Msg.vote_material ~instance:t.seg.Core.Segment.instance ~view:qc.Msg.qc_view
+        qc.Msg.qc_digest
+    in
+    Iss_crypto.Threshold.verify t.ctx.Core.Orderer_intf.threshold_group material qc.Msg.qc_sig
+
+  let handle_proposal t ~src (node : Msg.chain_node) =
+    if t.active && src = current_leader t && node.Msg.view > t.last_voted_view then begin
+      let justify_ok =
+        match node.Msg.justify with
+        | None ->
+            node.Msg.view = 0 && Hash.equal node.Msg.parent (genesis_parent t)
+        | Some qc ->
+            qc.Msg.qc_view < node.Msg.view
+            && Hash.equal node.Msg.parent qc.Msg.qc_digest
+            && qc.Msg.qc_view >= t.locked_view
+            && qc_valid t qc
+      in
+      let content_ok =
+        match node.Msg.proposal with
+        | Proposal.Nil -> true  (* dummies and ⊥ fills are always safe *)
+        | Proposal.Batch _ ->
+            node.Msg.sn >= 0
+            && Core.Segment.contains_sn t.seg node.Msg.sn
+            && src = t.seg.Core.Segment.leader
+            && t.ctx.Core.Orderer_intf.validate_proposal t.seg ~sn:node.Msg.sn
+                 node.Msg.proposal
+      in
+      if justify_ok && content_ok then begin
+        (match node.Msg.justify with Some qc -> register_qc t qc | None -> ());
+        Hashtbl.replace t.chain (Hash.raw (Msg.node_digest node)) node;
+        t.last_voted_view <- node.Msg.view;
+        let digest = Msg.node_digest node in
+        let material =
+          Msg.vote_material ~instance:t.seg.Core.Segment.instance ~view:node.Msg.view digest
+        in
+        let share =
+          Iss_crypto.Threshold.sign_share t.ctx.Core.Orderer_intf.threshold_group ~signer:(me t)
+            material
+        in
+        let verify_cost =
+          (match node.Msg.proposal with
+          | Proposal.Batch b when t.ctx.Core.Orderer_intf.config.Core.Config.client_signatures
+            ->
+              Proto.Batch.length b * Iss_crypto.Signature.verify_cost_ns
+          | Proposal.Batch _ | Proposal.Nil -> 0)
+          + Iss_crypto.Threshold.share_sign_cost_ns
+        in
+        t.ctx.Core.Orderer_intf.charge_cpu verify_cost (fun () ->
+            if t.active then
+              send_hs t ~dst:(current_leader t)
+                (Msg.Vote { view = node.Msg.view; digest; share }))
+      end
+    end
+
+  (* ---- Pacemaker ------------------------------------------------------ *)
+
+  let rec arm_timer t =
+    cancel_timer t;
+    if t.active && not (done_ t) then begin
+      let base = t.ctx.Core.Orderer_intf.config.Core.Config.epoch_change_timeout in
+      let timeout = base * (1 lsl min t.rotations 16) in
+      t.timer <-
+        Some
+          (Engine.schedule t.ctx.Core.Orderer_intf.engine ~delay:timeout (fun () ->
+               t.timer <- None;
+               on_timeout t))
+    end
+
+  and on_timeout t =
+    if t.active && not (done_ t) then begin
+      t.ctx.Core.Orderer_intf.report_suspect (current_leader t);
+      t.rotations <- t.rotations + 1;
+      t.i_am_leader <- false;
+      t.nv_wait <- None;
+      Hashtbl.reset t.new_views;
+      let nv_view = t.last_voted_view + 1 in
+      send_hs t ~dst:(current_leader t) (Msg.New_view { view = nv_view; justify = t.high_qc });
+      arm_timer t
+    end
+
+  let rec handle_new_view t ~src ~view ~justify =
+    if t.active && current_leader t = me t && (not t.i_am_leader) && not (done_ t) then begin
+      (match justify with
+      | Some qc when qc_valid t qc -> register_qc t qc
+      | Some _ | None -> ());
+      Hashtbl.replace t.new_views src justify;
+      (match t.nv_wait with
+      | Some v when v >= view -> ()
+      | Some _ | None -> t.nv_wait <- Some view);
+      if Hashtbl.length t.new_views >= t.quorum then begin
+        t.i_am_leader <- true;
+        (* Re-propose ⊥ for everything not yet decided, then flush with
+           dummies, starting above every view a quorum member voted in. *)
+        let undecided =
+          Array.to_list t.seg.Core.Segment.seq_nrs
+          |> List.filter (fun sn -> not (Hashtbl.mem t.decided sn))
+        in
+        t.to_propose <- undecided;
+        t.dummies_left <- 3;
+        let start_view =
+          let nv = match t.nv_wait with Some v -> v | None -> 0 in
+          let hq = match t.high_qc with Some qc -> qc.Msg.qc_view + 1 | None -> 0 in
+          max (max nv hq) (t.last_voted_view + 1)
+        in
+        let parent, justify =
+          match t.high_qc with
+          | Some qc -> (qc.Msg.qc_digest, Some qc)
+          | None -> (genesis_parent t, None)
+        in
+        (* A rotated leader's first proposal may legitimately carry a
+           justify that is not view-1; replicas accept it because the
+           justify is their locked view or higher. *)
+        ignore start_view;
+        propose_next_rotated t ~view:start_view ~parent ~justify
+      end
+    end
+
+  and propose_next_rotated t ~view ~parent ~justify =
+    (* Same as [propose_next] but usable for the first post-rotation view
+       (non-consecutive with the justify). *)
+    if t.active && t.i_am_leader then begin
+      match t.to_propose with
+      | sn :: rest ->
+          t.to_propose <- rest;
+          let node = { Msg.view; sn; parent; proposal = Proposal.Nil; justify } in
+          Hashtbl.replace t.chain (Hash.raw (Msg.node_digest node)) node;
+          t.last_proposed <- Some (view, Msg.node_digest node);
+          broadcast_hs t (Msg.Proposal_msg node)
+      | [] ->
+          if t.dummies_left > 0 then begin
+            t.dummies_left <- t.dummies_left - 1;
+            let node = { Msg.view; sn = -1; parent; proposal = Proposal.Nil; justify } in
+            Hashtbl.replace t.chain (Hash.raw (Msg.node_digest node)) node;
+            t.last_proposed <- Some (view, Msg.node_digest node);
+            broadcast_hs t (Msg.Proposal_msg node)
+          end
+    end
+
+  (* ---- ORDERER interface ---------------------------------------------- *)
+
+  let start t =
+    t.active <- true;
+    arm_timer t;
+    if t.seg.Core.Segment.leader = me t then begin
+      t.i_am_leader <- true;
+      propose_next t ~view:0 ~parent:(genesis_parent t) ~justify:None
+    end
+
+  let on_message t ~src msg =
+    match msg with
+    | Proto.Message.Hotstuff { Msg.instance; body }
+      when instance = t.seg.Core.Segment.instance && t.active -> (
+        match body with
+        | Msg.Proposal_msg node ->
+            handle_proposal t ~src node;
+            (* Progress resets the pacemaker. *)
+            if src = current_leader t then arm_timer t
+        | Msg.Vote { view; digest; share } -> handle_vote t ~src ~view ~digest share
+        | Msg.New_view { view; justify } -> handle_new_view t ~src ~view ~justify)
+    | _ -> ()
+
+  let stop t =
+    t.active <- false;
+    cancel_timer t
+end
+
+let factory ctx seg =
+  Core.Orderer_intf.Instance ((module Orderer), Orderer.create ctx seg)

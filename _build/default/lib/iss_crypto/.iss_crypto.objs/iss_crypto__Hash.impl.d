@@ -1,0 +1,1 @@
+lib/iss_crypto/hash.ml: Format Sha256 String

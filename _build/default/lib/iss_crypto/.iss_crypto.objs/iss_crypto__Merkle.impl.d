@@ -1,0 +1,1 @@
+lib/iss_crypto/merkle.ml: Array Hash List

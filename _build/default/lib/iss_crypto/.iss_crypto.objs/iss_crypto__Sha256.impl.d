@@ -1,0 +1,1 @@
+lib/iss_crypto/sha256.ml: Array Buffer Bytes Char Printf String

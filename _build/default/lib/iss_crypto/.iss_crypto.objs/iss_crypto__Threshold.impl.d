@@ -1,0 +1,1 @@
+lib/iss_crypto/threshold.ml: Hashtbl List Printf Sha256 String

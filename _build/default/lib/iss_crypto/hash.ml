@@ -1,0 +1,18 @@
+type t = string
+
+let size = 32
+
+let of_string s = Sha256.digest s
+
+let of_raw s =
+  if String.length s <> size then invalid_arg "Hash.of_raw: need 32 bytes";
+  s
+
+let raw t = t
+let to_hex = Sha256.hex
+let equal = String.equal
+let compare = String.compare
+let combine l r = Sha256.digest (l ^ r)
+let of_int i = Sha256.digest (string_of_int i)
+let short t = String.sub (to_hex t) 0 8
+let pp fmt t = Format.pp_print_string fmt (short t)

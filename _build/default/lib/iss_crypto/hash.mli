@@ -1,0 +1,31 @@
+(** Digest values and helpers over {!Sha256}. *)
+
+type t
+(** A 32-byte SHA-256 digest. *)
+
+val of_string : string -> t
+(** Hash arbitrary bytes. *)
+
+val of_raw : string -> t
+(** Adopt an existing 32-byte raw digest. Raises [Invalid_argument] on wrong
+    length. *)
+
+val raw : t -> string
+val to_hex : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val combine : t -> t -> t
+(** [combine l r] hashes the concatenation of two digests — the Merkle inner
+    node rule. *)
+
+val of_int : int -> t
+(** Digest of an integer's decimal rendering; handy for synthetic ids. *)
+
+val short : t -> string
+(** First 8 hex chars, for logs. *)
+
+val size : int
+(** Digest size in bytes (32). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch on the OCaml stdlib.
+
+    Used for request digests, bucket hashing inputs, Merkle trees and the
+    simulated signature schemes.  Verified in the test suite against the
+    RFC 6234 / NIST test vectors. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val update_sub : ctx -> string -> pos:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** 32-byte raw digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot convenience: [digest s] is the 32-byte digest of [s]. *)
+
+val hex : string -> string
+(** Lowercase hex rendering of a raw digest (or any string). *)
+
+val digest_hex : string -> string
+(** [hex (digest s)]. *)

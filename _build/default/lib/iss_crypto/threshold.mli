@@ -1,0 +1,51 @@
+(** Simulated (t, n)-threshold signatures (stand-in for BLS).
+
+    The paper's HotStuff implementation aggregates 2f+1 follower votes into a
+    constant-size quorum certificate using BLS threshold signatures.  We
+    simulate the scheme's interface and guarantees:
+
+    - each of the [n] parties produces a {e share} over a message;
+    - any [t] distinct valid shares combine into a constant-size signature;
+    - fewer than [t] shares, shares over different messages, or shares from
+      repeated signers do not combine;
+    - the combined signature verifies against the group's public parameters
+      and the message.
+
+    Like {!Signature}, unforgeability rests on hashing with secrets that
+    never leave the module, and wire sizes / CPU costs mirror BLS12-381. *)
+
+type group
+(** Public parameters of a (t, n) group. *)
+
+type share
+type combined
+
+val setup : n:int -> t:int -> group
+(** Deterministic setup for parties [0..n-1] with threshold [t].
+    Raises [Invalid_argument] unless [0 < t <= n]. *)
+
+val threshold : group -> int
+val parties : group -> int
+
+val sign_share : group -> signer:int -> string -> share
+(** Raises [Invalid_argument] if [signer] is outside [0..n-1]. *)
+
+val verify_share : group -> signer:int -> string -> share -> bool
+
+val combine : group -> string -> share list -> combined option
+(** [combine g msg shares] is [Some sig] when [shares] contains at least
+    [threshold g] valid shares over [msg] from distinct signers, [None]
+    otherwise. *)
+
+val verify : group -> string -> combined -> bool
+
+val share_wire_size : int
+(** 48 bytes (BLS12-381 G1 point). *)
+
+val combined_wire_size : int
+(** 48 bytes — aggregation does not grow the signature; this constant size
+    is why HotStuff achieves linear message complexity. *)
+
+val share_sign_cost_ns : int
+val combine_cost_ns : t:int -> int
+val verify_cost_ns : int

@@ -1,0 +1,1 @@
+lib/pbft/pbft_orderer.ml: Array Core Hashtbl Iss_crypto List Option Proto Sim

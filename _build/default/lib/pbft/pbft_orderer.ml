@@ -1,0 +1,326 @@
+module Time_ns = Sim.Time_ns
+module Engine = Sim.Engine
+module Msg = Proto.Pbft_msg
+module Proposal = Proto.Proposal
+
+module Orderer = struct
+  type slot = {
+    sn : int;
+    mutable accepted : (int * Proposal.t) option;  (* (view, proposal) pre-prepared here *)
+    prepares : (int * int, Iss_crypto.Hash.t) Hashtbl.t;  (* (view, node) -> digest *)
+    commits : (int * int, Iss_crypto.Hash.t) Hashtbl.t;
+    mutable prepared : (int * Proposal.t) option;  (* highest view prepared cert *)
+    mutable announced : bool;
+  }
+
+  type t = {
+    ctx : Core.Orderer_intf.ctx;
+    seg : Core.Segment.t;
+    n : int;
+    quorum : int;
+    slots : (int, slot) Hashtbl.t;  (* sn -> *)
+    mutable view : int;
+    mutable active : bool;  (* between start and stop *)
+    mutable vc_timer : Engine.timer_id option;
+    mutable completed : int;  (* announced count *)
+    view_changes : (int, (int, Msg.view_change) Hashtbl.t) Hashtbl.t;
+        (* new_view -> sender -> vc *)
+    mutable highest_vc_sent : int;
+  }
+
+  let primary t view = (t.seg.Core.Segment.leader + view) mod t.n
+
+  let slot t sn =
+    match Hashtbl.find_opt t.slots sn with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            sn;
+            accepted = None;
+            prepares = Hashtbl.create 8;
+            commits = Hashtbl.create 8;
+            prepared = None;
+            announced = false;
+          }
+        in
+        Hashtbl.replace t.slots sn s;
+        s
+
+  let create ctx seg =
+    let n = ctx.Core.Orderer_intf.config.Core.Config.n in
+    {
+      ctx;
+      seg;
+      n;
+      quorum = Proto.Ids.quorum ~n;
+      slots = Hashtbl.create (Core.Segment.seq_count seg * 2);
+      view = 0;
+      active = false;
+      vc_timer = None;
+      completed = 0;
+      view_changes = Hashtbl.create 4;
+      highest_vc_sent = 0;
+    }
+
+  let broadcast_pbft t body =
+    t.ctx.Core.Orderer_intf.broadcast
+      (Proto.Message.Pbft { Msg.instance = t.seg.Core.Segment.instance; body })
+
+  let done_ t = t.completed >= Core.Segment.seq_count t.seg
+
+  let cancel_vc_timer t =
+    match t.vc_timer with
+    | Some timer ->
+        Engine.cancel t.ctx.Core.Orderer_intf.engine timer;
+        t.vc_timer <- None
+    | None -> ()
+
+  (* The view-change timeout doubles with the view number so that, after
+     GST, it eventually exceeds the network delay (◇S(bz) completeness,
+     §4.2.4). *)
+  let rec arm_vc_timer t =
+    cancel_vc_timer t;
+    if t.active && not (done_ t) then begin
+      let base = t.ctx.Core.Orderer_intf.config.Core.Config.epoch_change_timeout in
+      let timeout = base * (1 lsl min t.view 16) in
+      t.vc_timer <-
+        Some
+          (Engine.schedule t.ctx.Core.Orderer_intf.engine ~delay:timeout (fun () ->
+               t.vc_timer <- None;
+               start_view_change t (t.view + 1)))
+    end
+
+  and start_view_change t new_view =
+    if t.active && (not (done_ t)) && new_view > t.highest_vc_sent then begin
+      t.highest_vc_sent <- new_view;
+      t.ctx.Core.Orderer_intf.report_suspect (primary t t.view);
+      (* Gather prepared certificates for the open sequence numbers. *)
+      let prepared =
+        Hashtbl.fold
+          (fun sn s acc ->
+            match s.prepared with
+            | Some (view, proposal) when not s.announced ->
+                { Msg.sn; view; proposal } :: acc
+            | Some _ | None -> acc)
+          t.slots []
+      in
+      let vc =
+        {
+          Msg.new_view;
+          prepared;
+          vc_signer = t.ctx.Core.Orderer_intf.node;
+          vc_sig = Iss_crypto.Signature.forged ();
+        }
+      in
+      let material = Msg.view_change_material ~instance:t.seg.Core.Segment.instance vc in
+      let vc =
+        { vc with Msg.vc_sig = Iss_crypto.Signature.sign t.ctx.Core.Orderer_intf.keypair material }
+      in
+      t.view <- new_view;
+      broadcast_pbft t (Msg.View_change vc);
+      arm_vc_timer t
+    end
+
+  let verify_vc t (vc : Msg.view_change) =
+    let material = Msg.view_change_material ~instance:t.seg.Core.Segment.instance vc in
+    Iss_crypto.Signature.verify
+      (Iss_crypto.Signature.public_of_id vc.Msg.vc_signer)
+      material vc.Msg.vc_sig
+
+  (* --- Commit pipeline ------------------------------------------------ *)
+
+  let try_announce t s =
+    match s.accepted with
+    | Some (view, proposal) when not s.announced ->
+        let digest = Proposal.digest proposal in
+        let commits =
+          Hashtbl.fold
+            (fun (v, _) d acc -> if v = view && Iss_crypto.Hash.equal d digest then acc + 1 else acc)
+            s.commits 0
+        in
+        if commits >= t.quorum then begin
+          s.announced <- true;
+          t.completed <- t.completed + 1;
+          t.ctx.Core.Orderer_intf.announce ~sn:s.sn proposal;
+          if done_ t then cancel_vc_timer t else arm_vc_timer t
+        end
+    | Some _ | None -> ()
+
+  let try_commit t s =
+    match s.accepted with
+    | Some (view, proposal) when s.prepared = None || fst (Option.get s.prepared) < view ->
+        let digest = Proposal.digest proposal in
+        let prepares =
+          Hashtbl.fold
+            (fun (v, _) d acc -> if v = view && Iss_crypto.Hash.equal d digest then acc + 1 else acc)
+            s.prepares 0
+        in
+        if prepares >= t.quorum then begin
+          s.prepared <- Some (view, proposal);
+          Hashtbl.replace s.commits (view, t.ctx.Core.Orderer_intf.node) digest;
+          broadcast_pbft t (Msg.Commit { view; sn = s.sn; digest });
+          try_announce t s
+        end
+    | Some _ | None -> ()
+
+  (* Accept a pre-prepare (from the live primary or replayed out of a
+     NEW-VIEW) and respond with a PREPARE vote. *)
+  let accept_preprepare t ~view ~sn proposal =
+    let s = slot t sn in
+    if (not s.announced) && Core.Segment.contains_sn t.seg sn then begin
+      let fresh =
+        match s.accepted with Some (v, _) -> v < view | None -> true
+      in
+      (* Design principle 3(d): a non-⊥ proposal is acceptable only when the
+         segment leader originally sb-cast it.  In view 0 that is the
+         sender; in later views, non-⊥ values are only replayed from
+         prepared certificates, which themselves originate in view 0. *)
+      let validity =
+        match proposal with
+        | Proposal.Nil -> view > 0
+        | Proposal.Batch _ ->
+            t.ctx.Core.Orderer_intf.validate_proposal t.seg ~sn proposal
+      in
+      if fresh && validity then begin
+        s.accepted <- Some (view, proposal);
+        let digest = Proposal.digest proposal in
+        let verify_cost =
+          match proposal with
+          | Proposal.Batch b when t.ctx.Core.Orderer_intf.config.Core.Config.client_signatures ->
+              Proto.Batch.length b * Iss_crypto.Signature.verify_cost_ns
+          | Proposal.Batch _ | Proposal.Nil -> 0
+        in
+        let vote () =
+          Hashtbl.replace s.prepares (view, t.ctx.Core.Orderer_intf.node) digest;
+          broadcast_pbft t (Msg.Prepare { view; sn; digest });
+          try_commit t s
+        in
+        if verify_cost > 0 then t.ctx.Core.Orderer_intf.charge_cpu verify_cost vote else vote ()
+      end
+    end
+
+  (* --- Leader side ---------------------------------------------------- *)
+
+  let propose_all t =
+    (* Queue a batch request for every sequence number; ISS's batcher paces
+       the callbacks (rate limiting, §4.4.1), so proposals flow in parallel
+       but never faster than the configured wire rate. *)
+    Array.iter
+      (fun sn ->
+        t.ctx.Core.Orderer_intf.request_batch ~sn (fun proposal ->
+            if t.active && t.view = 0 then begin
+              broadcast_pbft t (Msg.Preprepare { view = 0; sn; proposal })
+            end))
+      t.seg.Core.Segment.seq_nrs
+
+  (* --- View change handling ------------------------------------------ *)
+
+  let process_new_view t ~view ~view_changes ~preprepares =
+    if view >= t.view && t.active then begin
+      let valid = List.filter (verify_vc t) view_changes in
+      let distinct = List.sort_uniq compare (List.map (fun vc -> vc.Msg.vc_signer) valid) in
+      if List.length distinct >= t.quorum then begin
+        t.view <- view;
+        t.highest_vc_sent <- max t.highest_vc_sent view;
+        List.iter (fun (sn, proposal) -> accept_preprepare t ~view ~sn proposal) preprepares;
+        arm_vc_timer t
+      end
+    end
+
+  let maybe_become_leader t new_view =
+    if primary t new_view = t.ctx.Core.Orderer_intf.node && t.active then begin
+      match Hashtbl.find_opt t.view_changes new_view with
+      | None -> ()
+      | Some senders ->
+          if Hashtbl.length senders >= t.quorum && new_view >= t.view then begin
+            let vcs = Hashtbl.fold (fun _ vc acc -> vc :: acc) senders [] in
+            (* Choose, per open sequence number, the prepared value of the
+               highest view reported by any view change; ⊥ otherwise. *)
+            let best = Hashtbl.create 16 in
+            List.iter
+              (fun vc ->
+                List.iter
+                  (fun (pc : Msg.prepared_cert) ->
+                    match Hashtbl.find_opt best pc.Msg.sn with
+                    | Some (v, _) when v >= pc.Msg.view -> ()
+                    | _ -> Hashtbl.replace best pc.Msg.sn (pc.Msg.view, pc.Msg.proposal))
+                  vc.Msg.prepared)
+              vcs;
+            let preprepares =
+              Array.to_list t.seg.Core.Segment.seq_nrs
+              |> List.filter_map (fun sn ->
+                     let s = slot t sn in
+                     if s.announced then None
+                     else
+                       match Hashtbl.find_opt best sn with
+                       | Some (_, proposal) -> Some (sn, proposal)
+                       | None -> Some (sn, Proposal.Nil))
+            in
+            t.view <- new_view;
+            broadcast_pbft t (Msg.New_view { view = new_view; view_changes = vcs; preprepares });
+            arm_vc_timer t
+          end
+    end
+
+  let handle_view_change t ~src vc =
+    if t.active && vc.Msg.new_view > 0 && verify_vc t vc && vc.Msg.vc_signer = src then begin
+      let senders =
+        match Hashtbl.find_opt t.view_changes vc.Msg.new_view with
+        | Some s -> s
+        | None ->
+            let s = Hashtbl.create 8 in
+            Hashtbl.replace t.view_changes vc.Msg.new_view s;
+            s
+      in
+      if not (Hashtbl.mem senders src) then begin
+        Hashtbl.replace senders src vc;
+        (* Join the view change once f+1 nodes demand it (we may not have
+           timed out ourselves yet). *)
+        let f = (t.n - 1) / 3 in
+        if Hashtbl.length senders > f && vc.Msg.new_view > t.highest_vc_sent then
+          start_view_change t vc.Msg.new_view;
+        maybe_become_leader t vc.Msg.new_view
+      end
+    end
+
+  (* --- ORDERER interface ---------------------------------------------- *)
+
+  let start t =
+    t.active <- true;
+    arm_vc_timer t;
+    if t.seg.Core.Segment.leader = t.ctx.Core.Orderer_intf.node then propose_all t
+
+  let on_message t ~src msg =
+    match msg with
+    | Proto.Message.Pbft { Msg.instance; body }
+      when instance = t.seg.Core.Segment.instance && t.active -> (
+        match body with
+        | Msg.Preprepare { view; sn; proposal } ->
+            (* Only the primary of the view may propose. *)
+            if src = primary t view && view = t.view then
+              accept_preprepare t ~view ~sn proposal
+        | Msg.Prepare { view; sn; digest } ->
+            let s = slot t sn in
+            if not (Hashtbl.mem s.prepares (view, src)) then begin
+              Hashtbl.replace s.prepares (view, src) digest;
+              try_commit t s
+            end
+        | Msg.Commit { view; sn; digest } ->
+            let s = slot t sn in
+            if not (Hashtbl.mem s.commits (view, src)) then begin
+              Hashtbl.replace s.commits (view, src) digest;
+              try_announce t s
+            end
+        | Msg.View_change vc -> handle_view_change t ~src vc
+        | Msg.New_view { view; view_changes; preprepares } ->
+            if src = primary t view then process_new_view t ~view ~view_changes ~preprepares)
+    | _ -> ()
+
+  let stop t =
+    t.active <- false;
+    cancel_vc_timer t
+end
+
+let factory ctx seg =
+  Core.Orderer_intf.Instance ((module Orderer), Orderer.create ctx seg)

@@ -1,0 +1,1 @@
+lib/proto/batch.ml: Array Buffer Iss_crypto Request

@@ -1,0 +1,1 @@
+lib/proto/hotstuff_msg.ml: Format Iss_crypto Printf Proposal

@@ -1,0 +1,1 @@
+lib/proto/hotstuff_msg.mli: Format Iss_crypto Proposal

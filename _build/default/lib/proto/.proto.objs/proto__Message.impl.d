@@ -1,0 +1,1 @@
+lib/proto/message.ml: Array Format Hotstuff_msg Ids Iss_crypto List Pbft_msg Printf Proposal Raft_msg Request

@@ -1,0 +1,1 @@
+lib/proto/message.mli: Format Hotstuff_msg Ids Iss_crypto Pbft_msg Proposal Raft_msg Request

@@ -1,0 +1,1 @@
+lib/proto/pbft_msg.ml: Buffer Format Ids Iss_crypto List Printf Proposal

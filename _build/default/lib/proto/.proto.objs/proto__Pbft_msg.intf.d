@@ -1,0 +1,1 @@
+lib/proto/pbft_msg.mli: Format Ids Iss_crypto Proposal

@@ -1,0 +1,1 @@
+lib/proto/proposal.ml: Batch Format Iss_crypto

@@ -1,0 +1,1 @@
+lib/proto/proposal.mli: Batch Format Iss_crypto

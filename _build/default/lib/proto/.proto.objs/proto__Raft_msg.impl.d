@@ -1,0 +1,1 @@
+lib/proto/raft_msg.ml: Format List Printf Proposal

@@ -1,0 +1,1 @@
+lib/proto/raft_msg.mli: Format Proposal

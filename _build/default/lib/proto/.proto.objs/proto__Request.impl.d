@@ -1,0 +1,1 @@
+lib/proto/request.ml: Format Ids Iss_crypto Printf Sim

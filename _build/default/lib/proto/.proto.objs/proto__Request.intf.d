@@ -1,0 +1,1 @@
+lib/proto/request.mli: Format Ids Iss_crypto Sim

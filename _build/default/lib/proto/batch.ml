@@ -1,0 +1,36 @@
+type t = {
+  requests : Request.t array;
+  digest : Iss_crypto.Hash.t;
+  wire_size : int;
+}
+
+let header_size = 16
+
+let compute_digest reqs =
+  let buf = Buffer.create (8 * Array.length reqs * 2) in
+  Array.iter
+    (fun (r : Request.t) ->
+      Buffer.add_string buf (string_of_int r.id.client);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int r.id.ts);
+      Buffer.add_char buf ';')
+    reqs;
+  Iss_crypto.Hash.of_string (Buffer.contents buf)
+
+let make requests =
+  {
+    requests;
+    digest = compute_digest requests;
+    wire_size = header_size + Array.fold_left (fun acc r -> acc + Request.wire_size r) 0 requests;
+  }
+
+let empty = make [||]
+
+let requests t = t.requests
+let length t = Array.length t.requests
+let is_empty t = Array.length t.requests = 0
+let digest t = t.digest
+let wire_size t = t.wire_size
+let iter f t = Array.iter f t.requests
+let exists f t = Array.exists f t.requests
+let for_all f t = Array.for_all f t.requests

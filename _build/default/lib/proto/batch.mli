@@ -1,0 +1,24 @@
+(** Request batches — the unit ISS assigns to log positions. *)
+
+type t
+
+val make : Request.t array -> t
+(** Takes ownership of the array; callers must not mutate it afterwards. *)
+
+val empty : t
+(** A zero-request batch (PBFT/Raft heartbeat proposals, HotStuff dummies). *)
+
+val requests : t -> Request.t array
+val length : t -> int
+val is_empty : t -> bool
+
+val digest : t -> Iss_crypto.Hash.t
+(** SHA-256 over the ordered request identities; computed once at
+    construction. *)
+
+val wire_size : t -> int
+(** Sum of the contained requests' wire sizes plus a small header. *)
+
+val iter : (Request.t -> unit) -> t -> unit
+val exists : (Request.t -> bool) -> t -> bool
+val for_all : (Request.t -> bool) -> t -> bool

@@ -1,0 +1,50 @@
+type qc = {
+  qc_view : int;
+  qc_digest : Iss_crypto.Hash.t;
+  qc_sig : Iss_crypto.Threshold.combined;
+}
+
+type chain_node = {
+  view : int;
+  sn : int;
+  parent : Iss_crypto.Hash.t;
+  proposal : Proposal.t;
+  justify : qc option;
+}
+
+let node_digest n =
+  Iss_crypto.Hash.of_string
+    (Printf.sprintf "hs-node:%d:%d:%s:%s" n.view n.sn
+       (Iss_crypto.Hash.to_hex n.parent)
+       (Iss_crypto.Hash.to_hex (Proposal.digest n.proposal)))
+
+let vote_material ~instance ~view digest =
+  Printf.sprintf "hs-vote:%d:%d:%s" instance view (Iss_crypto.Hash.to_hex digest)
+
+type body =
+  | Proposal_msg of chain_node
+  | Vote of { view : int; digest : Iss_crypto.Hash.t; share : Iss_crypto.Threshold.share }
+  | New_view of { view : int; justify : qc option }
+
+type t = { instance : int; body : body }
+
+let header = 24
+let qc_size = 8 + Iss_crypto.Hash.size + Iss_crypto.Threshold.combined_wire_size
+
+let wire_size t =
+  match t.body with
+  | Proposal_msg n ->
+      header + Iss_crypto.Hash.size + Proposal.wire_size n.proposal
+      + (match n.justify with Some _ -> qc_size | None -> 0)
+  | Vote _ -> header + Iss_crypto.Hash.size + Iss_crypto.Threshold.share_wire_size
+  | New_view { justify; _ } ->
+      header + (match justify with Some _ -> qc_size | None -> 0)
+
+let pp fmt t =
+  let s =
+    match t.body with
+    | Proposal_msg n -> Printf.sprintf "proposal(v%d)" n.view
+    | Vote { view; _ } -> Printf.sprintf "vote(v%d)" view
+    | New_view { view; _ } -> Printf.sprintf "new-view(v%d)" view
+  in
+  Format.fprintf fmt "hotstuff[i%d].%s" t.instance s

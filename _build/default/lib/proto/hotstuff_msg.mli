@@ -1,0 +1,37 @@
+(** Chained HotStuff wire messages (paper §4.2.2).
+
+    One HotStuff instance runs per segment; each segment sequence number maps
+    to one HotStuff view, followed by three dummy views that flush the
+    three-chain pipeline (paper Fig. 4).  Votes carry threshold-signature
+    shares; 2f+1 shares combine into a constant-size quorum certificate. *)
+
+type qc = {
+  qc_view : int;
+  qc_digest : Iss_crypto.Hash.t;  (** digest of the certified chain node *)
+  qc_sig : Iss_crypto.Threshold.combined;
+}
+
+type chain_node = {
+  view : int;
+  sn : int;  (** segment sequence number this node decides; -1 for dummies *)
+  parent : Iss_crypto.Hash.t;  (** digest of the parent chain node *)
+  proposal : Proposal.t;
+  justify : qc option;  (** [None] only for the genesis proposal *)
+}
+
+val node_digest : chain_node -> Iss_crypto.Hash.t
+(** Digest over (view, sn, parent, proposal digest) — what votes sign. *)
+
+val vote_material : instance:int -> view:int -> Iss_crypto.Hash.t -> string
+(** Canonical bytes a vote share signs. *)
+
+type body =
+  | Proposal_msg of chain_node
+  | Vote of { view : int; digest : Iss_crypto.Hash.t; share : Iss_crypto.Threshold.share }
+  | New_view of { view : int; justify : qc option }
+      (** pacemaker: sent to the next leader on view timeout *)
+
+type t = { instance : int; body : body }
+
+val wire_size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+type node_id = int
+type client_id = int
+
+let max_faulty ~n = (n - 1) / 3
+let quorum ~n = n - max_faulty ~n
+let majority ~n = (n / 2) + 1

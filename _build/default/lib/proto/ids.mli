@@ -1,0 +1,19 @@
+(** Process identities.
+
+    Nodes and clients live in one integer endpoint space (the network routes
+    by endpoint id).  By convention the runner allocates nodes the ids
+    [0 .. n-1] and clients the ids [n ..]; these aliases keep protocol
+    signatures readable. *)
+
+type node_id = int
+type client_id = int
+
+val quorum : n:int -> int
+(** Strong (Byzantine) quorum size: [2f+1] for the largest [f] with
+    [n >= 3f+1] — i.e. [n - f]. *)
+
+val max_faulty : n:int -> int
+(** Largest [f] such that [n >= 3f + 1]. *)
+
+val majority : n:int -> int
+(** Crash-fault majority quorum: [n/2 + 1] (Raft). *)

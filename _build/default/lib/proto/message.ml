@@ -1,0 +1,61 @@
+type checkpoint_cert = {
+  cc_epoch : int;
+  cc_max_sn : int;
+  cc_root : Iss_crypto.Hash.t;
+  cc_sigs : (Ids.node_id * Iss_crypto.Signature.signature) list;
+}
+
+type t =
+  | Request_msg of Request.t
+  | Reply of { req_id : Request.id; sn : int; replier : Ids.node_id }
+  | Bucket_update of { epoch : int; bucket_leaders : Ids.node_id array }
+  | Checkpoint_msg of {
+      epoch : int;
+      max_sn : int;
+      root : Iss_crypto.Hash.t;
+      signer : Ids.node_id;
+      sig_ : Iss_crypto.Signature.signature;
+    }
+  | State_request of { from_sn : int }
+  | State_reply of { entries : (int * Proposal.t) list; cert : checkpoint_cert }
+  | Fd_heartbeat
+  | Pbft of Pbft_msg.t
+  | Hotstuff of Hotstuff_msg.t
+  | Raft of Raft_msg.t
+  | Mir_epoch_change of { epoch : int; primary : Ids.node_id }
+
+let checkpoint_material ~epoch ~max_sn ~root =
+  Printf.sprintf "checkpoint:%d:%d:%s" epoch max_sn (Iss_crypto.Hash.to_hex root)
+
+let cert_size cert = 24 + Iss_crypto.Hash.size + (List.length cert.cc_sigs * (8 + Iss_crypto.Signature.wire_size))
+
+let wire_size = function
+  | Request_msg r -> Request.wire_size r
+  | Reply _ -> 32
+  | Bucket_update { bucket_leaders; _ } -> 16 + (Array.length bucket_leaders * 4)
+  | Checkpoint_msg _ -> 24 + Iss_crypto.Hash.size + Iss_crypto.Signature.wire_size
+  | State_request _ -> 16
+  | State_reply { entries; cert } ->
+      cert_size cert
+      + List.fold_left (fun acc (_, p) -> acc + 8 + Proposal.wire_size p) 0 entries
+  | Fd_heartbeat -> 16
+  | Pbft m -> Pbft_msg.wire_size m
+  | Hotstuff m -> Hotstuff_msg.wire_size m
+  | Raft m -> Raft_msg.wire_size m
+  | Mir_epoch_change _ -> 24
+
+let pp fmt = function
+  | Request_msg r -> Format.fprintf fmt "request%a" Request.pp_id r.id
+  | Reply { req_id; sn; replier } ->
+      Format.fprintf fmt "reply%a@sn%d from n%d" Request.pp_id req_id sn replier
+  | Bucket_update { epoch; _ } -> Format.fprintf fmt "bucket-update(e%d)" epoch
+  | Checkpoint_msg { epoch; max_sn; signer; _ } ->
+      Format.fprintf fmt "checkpoint(e%d,sn%d) from n%d" epoch max_sn signer
+  | State_request { from_sn } -> Format.fprintf fmt "state-request(sn%d..)" from_sn
+  | State_reply { entries; _ } -> Format.fprintf fmt "state-reply(%d entries)" (List.length entries)
+  | Fd_heartbeat -> Format.pp_print_string fmt "heartbeat"
+  | Pbft m -> Pbft_msg.pp fmt m
+  | Hotstuff m -> Hotstuff_msg.pp fmt m
+  | Raft m -> Raft_msg.pp fmt m
+  | Mir_epoch_change { epoch; primary } ->
+      Format.fprintf fmt "mir-epoch-change(e%d,primary n%d)" epoch primary

@@ -1,0 +1,43 @@
+(** The top-level wire message: everything any process sends to any other.
+
+    One closed variant keeps message-size accounting, tracing and test
+    inspection trivial; each ordering protocol contributes its own payload
+    module ({!Pbft_msg}, {!Hotstuff_msg}, {!Raft_msg}). *)
+
+type checkpoint_cert = {
+  cc_epoch : int;
+  cc_max_sn : int;
+  cc_root : Iss_crypto.Hash.t;
+  cc_sigs : (Ids.node_id * Iss_crypto.Signature.signature) list;
+      (** 2f+1 matching CHECKPOINT signatures (paper §3.5) *)
+}
+
+type t =
+  | Request_msg of Request.t  (** client → node *)
+  | Reply of { req_id : Request.id; sn : int; replier : Ids.node_id }
+      (** node → client; the client waits for f+1 matching replies *)
+  | Bucket_update of { epoch : int; bucket_leaders : Ids.node_id array }
+      (** node → client at epoch transitions: who leads each bucket
+          (paper §4.3 leader detection) *)
+  | Checkpoint_msg of {
+      epoch : int;
+      max_sn : int;
+      root : Iss_crypto.Hash.t;
+      signer : Ids.node_id;
+      sig_ : Iss_crypto.Signature.signature;
+    }
+  | State_request of { from_sn : int }
+      (** lagging node → any node: fetch missing log entries *)
+  | State_reply of { entries : (int * Proposal.t) list; cert : checkpoint_cert }
+  | Fd_heartbeat  (** failure-detector liveness beacon *)
+  | Pbft of Pbft_msg.t
+  | Hotstuff of Hotstuff_msg.t
+  | Raft of Raft_msg.t
+  | Mir_epoch_change of { epoch : int; primary : Ids.node_id }
+      (** Mir-BFT model: epoch-primary configuration announcement *)
+
+val checkpoint_material : epoch:int -> max_sn:int -> root:Iss_crypto.Hash.t -> string
+(** Canonical bytes a CHECKPOINT signature covers. *)
+
+val wire_size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+type t = Batch of Batch.t | Nil
+
+let nil_digest = Iss_crypto.Hash.of_string "iss:nil-proposal"
+
+let digest = function Batch b -> Batch.digest b | Nil -> nil_digest
+let wire_size = function Batch b -> Batch.wire_size b | Nil -> 1
+let is_nil = function Nil -> true | Batch _ -> false
+
+let pp fmt = function
+  | Nil -> Format.pp_print_string fmt "⊥"
+  | Batch b -> Format.fprintf fmt "batch[%d]" (Batch.length b)

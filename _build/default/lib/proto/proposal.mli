@@ -1,0 +1,15 @@
+(** An SB proposal value: a request batch, or the special ⊥.
+
+    SB (paper §2.2) lets correct nodes deliver a nil value for a sequence
+    number when the designated sender is suspected; ISS leaves the
+    corresponding log position empty and the bucket re-assignment retries
+    the requests in a later epoch. *)
+
+type t = Batch of Batch.t | Nil
+
+val digest : t -> Iss_crypto.Hash.t
+(** [Nil] has a fixed, distinguished digest. *)
+
+val wire_size : t -> int
+val is_nil : t -> bool
+val pp : Format.formatter -> t -> unit

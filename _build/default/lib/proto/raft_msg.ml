@@ -1,0 +1,37 @@
+type entry = { idx : int; term : int; proposal : Proposal.t }
+
+type body =
+  | Append_entries of {
+      term : int;
+      prev_idx : int;
+      prev_term : int;
+      entries : entry list;
+      leader_commit : int;
+    }
+  | Append_reply of { term : int; success : bool; match_idx : int }
+  | Request_vote of { term : int; last_idx : int; last_term : int }
+  | Vote_reply of { term : int; granted : bool }
+
+type t = { instance : int; body : body }
+
+let header = 24
+
+let wire_size t =
+  match t.body with
+  | Append_entries { entries; _ } ->
+      header + 24
+      + List.fold_left (fun acc e -> acc + 16 + Proposal.wire_size e.proposal) 0 entries
+  | Append_reply _ -> header + 16
+  | Request_vote _ -> header + 16
+  | Vote_reply _ -> header + 8
+
+let pp fmt t =
+  let s =
+    match t.body with
+    | Append_entries { term; entries; _ } ->
+        Printf.sprintf "append(t%d,%d entries)" term (List.length entries)
+    | Append_reply { term; success; _ } -> Printf.sprintf "append-reply(t%d,%b)" term success
+    | Request_vote { term; _ } -> Printf.sprintf "request-vote(t%d)" term
+    | Vote_reply { term; granted } -> Printf.sprintf "vote-reply(t%d,%b)" term granted
+  in
+  Format.fprintf fmt "raft[i%d].%s" t.instance s

@@ -1,0 +1,25 @@
+(** Raft wire messages (paper §4.2.3).
+
+    One Raft instance runs per segment.  Entry indices are positions within
+    the segment (0-based); the segment maps them back to global sequence
+    numbers.  The first leader of the segment is fixed (no initial
+    election); elections only happen after a leader is suspected. *)
+
+type entry = { idx : int; term : int; proposal : Proposal.t }
+
+type body =
+  | Append_entries of {
+      term : int;
+      prev_idx : int;  (** -1 when sending from the segment start *)
+      prev_term : int;
+      entries : entry list;
+      leader_commit : int;  (** highest index known committed; -1 if none *)
+    }
+  | Append_reply of { term : int; success : bool; match_idx : int }
+  | Request_vote of { term : int; last_idx : int; last_term : int }
+  | Vote_reply of { term : int; granted : bool }
+
+type t = { instance : int; body : body }
+
+val wire_size : t -> int
+val pp : Format.formatter -> t -> unit

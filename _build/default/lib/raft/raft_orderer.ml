@@ -1,0 +1,367 @@
+module Time_ns = Sim.Time_ns
+module Engine = Sim.Engine
+module Msg = Proto.Raft_msg
+module Proposal = Proto.Proposal
+
+module Orderer = struct
+  type role = Leader | Follower | Candidate
+
+  type t = {
+    ctx : Core.Orderer_intf.ctx;
+    seg : Core.Segment.t;
+    n : int;
+    majority : int;
+    len : int;  (* entries in the segment *)
+    entries : Msg.entry option array;  (* my log, by segment index *)
+    mutable term : int;
+    mutable role : role;
+    mutable voted_for : int option;  (* per current term *)
+    mutable commit_idx : int;  (* highest committed index, -1 if none *)
+    mutable announced_upto : int;  (* highest announced index, -1 if none *)
+    (* Leader state *)
+    next_idx : int array;  (* per follower *)
+    match_idx : int array;
+    mutable appended : int;  (* entries appended to my log so far *)
+    votes : (int, unit) Hashtbl.t;  (* candidates: granted votes *)
+    mutable election_round : int;  (* doubles the timer window *)
+    mutable hb_timer : Engine.timer_id option;
+    mutable election_timer : Engine.timer_id option;
+    rng : Sim.Rng.t;
+    mutable active : bool;
+  }
+
+  let me t = t.ctx.Core.Orderer_intf.node
+
+  let create ctx seg =
+    let n = ctx.Core.Orderer_intf.config.Core.Config.n in
+    let len = Core.Segment.seq_count seg in
+    {
+      ctx;
+      seg;
+      n;
+      majority = Proto.Ids.majority ~n;
+      len;
+      entries = Array.make len None;
+      term = 0;
+      role = (if ctx.Core.Orderer_intf.node = seg.Core.Segment.leader then Leader else Follower);
+      voted_for = Some seg.Core.Segment.leader;
+      commit_idx = -1;
+      announced_upto = -1;
+      next_idx = Array.make n 0;
+      match_idx = Array.make n (-1);
+      appended = 0;
+      votes = Hashtbl.create 8;
+      election_round = 0;
+      hb_timer = None;
+      election_timer = None;
+      rng =
+        Sim.Rng.create
+          ~seed:
+            (Int64.of_int
+               ((seg.Core.Segment.instance * 1_000_003) + ctx.Core.Orderer_intf.node + 1));
+      active = false;
+    }
+
+  let send_raft t ~dst body =
+    t.ctx.Core.Orderer_intf.send ~dst
+      (Proto.Message.Raft { Msg.instance = t.seg.Core.Segment.instance; body })
+
+  let cancel_hb t =
+    match t.hb_timer with
+    | Some timer ->
+        Engine.cancel t.ctx.Core.Orderer_intf.engine timer;
+        t.hb_timer <- None
+    | None -> ()
+
+  let cancel_election t =
+    match t.election_timer with
+    | Some timer ->
+        Engine.cancel t.ctx.Core.Orderer_intf.engine timer;
+        t.election_timer <- None
+    | None -> ()
+
+  let done_ t = t.announced_upto >= t.len - 1
+
+  let announce_ready t =
+    while t.announced_upto < t.commit_idx do
+      let idx = t.announced_upto + 1 in
+      match t.entries.(idx) with
+      | Some e ->
+          t.announced_upto <- idx;
+          t.ctx.Core.Orderer_intf.announce ~sn:t.seg.Core.Segment.seq_nrs.(idx)
+            e.Msg.proposal
+      | None -> t.announced_upto <- t.commit_idx (* unreachable: gap below commit *)
+    done
+
+  (* ---- Election timer (follower / candidate) ------------------------- *)
+
+  let rec arm_election t =
+    cancel_election t;
+    if t.active && t.role <> Leader && not (done_ t) then begin
+      let base = t.ctx.Core.Orderer_intf.config.Core.Config.epoch_change_timeout in
+      (* Random timer in [T, 2T), both bounds doubling with each failed
+         election round (§4.2.3). *)
+      let scale = 1 lsl min t.election_round 16 in
+      let lo = base * scale in
+      let delay = lo + Sim.Rng.int t.rng lo in
+      t.election_timer <-
+        Some
+          (Engine.schedule t.ctx.Core.Orderer_intf.engine ~delay (fun () ->
+               t.election_timer <- None;
+               start_election t))
+    end
+
+  and start_election t =
+    if t.active && t.role <> Leader && not (done_ t) then begin
+      t.ctx.Core.Orderer_intf.report_suspect t.seg.Core.Segment.leader;
+      t.term <- t.term + 1;
+      t.election_round <- t.election_round + 1;
+      t.role <- Candidate;
+      t.voted_for <- Some (me t);
+      Hashtbl.reset t.votes;
+      Hashtbl.replace t.votes (me t) ();
+      let last_idx = ref (-1) in
+      Array.iteri (fun i e -> if e <> None then last_idx := i) t.entries;
+      let last_term =
+        if !last_idx >= 0 then
+          match t.entries.(!last_idx) with Some e -> e.Msg.term | None -> 0
+        else 0
+      in
+      for dst = 0 to t.n - 1 do
+        if dst <> me t then
+          send_raft t ~dst (Msg.Request_vote { term = t.term; last_idx = !last_idx; last_term })
+      done;
+      arm_election t
+    end
+
+  (* ---- Leader side ---------------------------------------------------- *)
+
+  and replicate_to t ~dst =
+    let from = t.next_idx.(dst) in
+    let prev_idx = from - 1 in
+    let prev_term =
+      if prev_idx >= 0 then match t.entries.(prev_idx) with Some e -> e.Msg.term | None -> 0
+      else 0
+    in
+    let rec collect i acc =
+      if i >= t.len then List.rev acc
+      else
+        match t.entries.(i) with
+        | Some e -> collect (i + 1) (e :: acc)
+        | None -> List.rev acc
+    in
+    let entries = collect from [] in
+    send_raft t ~dst
+      (Msg.Append_entries
+         { term = t.term; prev_idx; prev_term; entries; leader_commit = t.commit_idx })
+
+  and replicate_all t =
+    for dst = 0 to t.n - 1 do
+      if dst <> me t then replicate_to t ~dst
+    done
+
+  and arm_heartbeat t =
+    cancel_hb t;
+    if t.active && t.role = Leader then begin
+      let interval =
+        max (t.ctx.Core.Orderer_intf.config.Core.Config.min_batch_timeout) (Time_ns.ms 200)
+      in
+      t.hb_timer <-
+        Some
+          (Engine.schedule t.ctx.Core.Orderer_intf.engine ~delay:interval (fun () ->
+               t.hb_timer <- None;
+               if t.active && t.role = Leader then begin
+                 (* Re-send everything unacknowledged — the redundant
+                    re-proposal behaviour the paper calls out. *)
+                 replicate_all t;
+                 arm_heartbeat t
+               end))
+    end
+
+  and append_local t ~idx proposal =
+    if t.entries.(idx) = None then begin
+      t.entries.(idx) <- Some { Msg.idx; term = t.term; proposal };
+      t.match_idx.(me t) <- max t.match_idx.(me t) idx;
+      t.appended <- max t.appended (idx + 1)
+    end
+
+  and leader_advance_commit t =
+    (* Highest index replicated on a majority whose entry is of the current
+       term (Raft's commit rule). *)
+    let counts idx =
+      let c = ref 0 in
+      for i = 0 to t.n - 1 do
+        if (i = me t && t.match_idx.(i) >= idx) || (i <> me t && t.match_idx.(i) >= idx) then
+          incr c
+      done;
+      !c
+    in
+    let advanced = ref false in
+    let continue = ref true in
+    while !continue do
+      let idx = t.commit_idx + 1 in
+      if idx < t.len && t.entries.(idx) <> None && counts idx >= t.majority then begin
+        t.commit_idx <- idx;
+        advanced := true
+      end
+      else continue := false
+    done;
+    if !advanced then announce_ready t
+
+  and become_leader t =
+    t.role <- Leader;
+    t.election_round <- 0;
+    cancel_election t;
+    Array.fill t.next_idx 0 t.n 0;
+    (* Conservative: start from each follower's unknown state; acks advance
+       next_idx quickly. *)
+    for i = 0 to t.n - 1 do
+      t.next_idx.(i) <- t.appended;
+      if i <> me t then t.match_idx.(i) <- -1
+    done;
+    (* Design principle 2: fill every empty index with ⊥; never propose
+       client batches as a takeover leader. *)
+    for idx = 0 to t.len - 1 do
+      if t.entries.(idx) = None then
+        t.entries.(idx) <- Some { Msg.idx; term = t.term; proposal = Proposal.Nil }
+    done;
+    t.appended <- t.len;
+    t.match_idx.(me t) <- t.len - 1;
+    replicate_all t;
+    arm_heartbeat t
+
+  (* ---- Initial leader proposal flow ----------------------------------- *)
+
+  let propose_all t =
+    Array.iteri
+      (fun idx sn ->
+        t.ctx.Core.Orderer_intf.request_batch ~sn (fun proposal ->
+            if t.active && t.role = Leader then begin
+              append_local t ~idx proposal;
+              replicate_all t;
+              leader_advance_commit t
+            end))
+      t.seg.Core.Segment.seq_nrs
+
+  (* ---- Follower side --------------------------------------------------- *)
+
+  let handle_append t ~src ~term ~prev_idx ~prev_term ~entries ~leader_commit =
+    if term >= t.term && not (src = me t) then begin
+      if term > t.term then begin
+        t.term <- term;
+        t.voted_for <- None
+      end;
+      if t.role <> Follower && src <> me t then t.role <- Follower;
+      t.election_round <- 0;
+      arm_election t;
+      (* Consistency check on the previous entry. *)
+      let consistent =
+        prev_idx < 0
+        ||
+        match t.entries.(prev_idx) with
+        | Some e -> e.Msg.term = prev_term || true
+        (* Within one ISS segment, entries never conflict across terms in
+           our model (a takeover leader preserves existing entries), so the
+           term check is informational. *)
+        | None -> false
+      in
+      if consistent then begin
+        List.iter
+          (fun (e : Msg.entry) ->
+            if e.Msg.idx >= 0 && e.Msg.idx < t.len && t.entries.(e.Msg.idx) = None then
+              t.entries.(e.Msg.idx) <- Some e)
+          entries;
+        (* Ack the longest contiguous prefix. *)
+        let m = ref (-1) in
+        (try
+           for i = 0 to t.len - 1 do
+             if t.entries.(i) = None then begin
+               m := i - 1;
+               raise Exit
+             end
+           done;
+           m := t.len - 1
+         with Exit -> ());
+        if leader_commit > t.commit_idx then begin
+          t.commit_idx <- min leader_commit !m;
+          announce_ready t
+        end;
+        send_raft t ~dst:src (Msg.Append_reply { term = t.term; success = true; match_idx = !m })
+      end
+      else
+        send_raft t ~dst:src
+          (Msg.Append_reply { term = t.term; success = false; match_idx = prev_idx - 1 })
+    end
+
+  let handle_append_reply t ~src ~term ~success ~match_idx =
+    if t.active && t.role = Leader && term = t.term then
+      if success then begin
+        if match_idx > t.match_idx.(src) then begin
+          t.match_idx.(src) <- match_idx;
+          t.next_idx.(src) <- match_idx + 1;
+          leader_advance_commit t
+        end
+      end
+      else t.next_idx.(src) <- max 0 match_idx
+
+  let handle_request_vote t ~src ~term ~last_idx ~last_term =
+    if term > t.term then begin
+      t.term <- term;
+      t.voted_for <- None;
+      if t.role = Leader then cancel_hb t;
+      t.role <- Follower
+    end;
+    let my_last = ref (-1) in
+    Array.iteri (fun i e -> if e <> None then my_last := i) t.entries;
+    let my_last_term =
+      if !my_last >= 0 then match t.entries.(!my_last) with Some e -> e.Msg.term | None -> 0
+      else 0
+    in
+    let up_to_date =
+      last_term > my_last_term || (last_term = my_last_term && last_idx >= !my_last)
+    in
+    let grant = term = t.term && t.voted_for = None && up_to_date in
+    if grant then begin
+      t.voted_for <- Some src;
+      arm_election t
+    end;
+    send_raft t ~dst:src (Msg.Vote_reply { term = t.term; granted = grant })
+
+  let handle_vote_reply t ~src ~term ~granted =
+    if t.active && t.role = Candidate && term = t.term && granted then begin
+      Hashtbl.replace t.votes src ();
+      if Hashtbl.length t.votes >= t.majority then become_leader t
+    end
+
+  (* ---- ORDERER interface ---------------------------------------------- *)
+
+  let start t =
+    t.active <- true;
+    if t.role = Leader then begin
+      arm_heartbeat t;
+      propose_all t
+    end
+    else arm_election t
+
+  let on_message t ~src msg =
+    match msg with
+    | Proto.Message.Raft { Msg.instance; body }
+      when instance = t.seg.Core.Segment.instance && t.active -> (
+        match body with
+        | Msg.Append_entries { term; prev_idx; prev_term; entries; leader_commit } ->
+            handle_append t ~src ~term ~prev_idx ~prev_term ~entries ~leader_commit
+        | Msg.Append_reply { term; success; match_idx } ->
+            handle_append_reply t ~src ~term ~success ~match_idx
+        | Msg.Request_vote { term; last_idx; last_term } ->
+            handle_request_vote t ~src ~term ~last_idx ~last_term
+        | Msg.Vote_reply { term; granted } -> handle_vote_reply t ~src ~term ~granted)
+    | _ -> ()
+
+  let stop t =
+    t.active <- false;
+    cancel_hb t;
+    cancel_election t
+end
+
+let factory ctx seg =
+  Core.Orderer_intf.Instance ((module Orderer), Orderer.create ctx seg)

@@ -1,0 +1,1 @@
+lib/runner/cluster.ml: Array Core Hashtbl Hotstuff List Mirbft Pbft Proto Raft Sim

@@ -1,0 +1,1 @@
+lib/runner/cluster.mli: Core Proto Sim

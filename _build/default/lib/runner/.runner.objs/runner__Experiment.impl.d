@@ -1,0 +1,1 @@
+lib/runner/experiment.ml: Array Cluster Core Format List Sim Workload

@@ -1,0 +1,1 @@
+lib/runner/experiment.mli: Cluster Core Format

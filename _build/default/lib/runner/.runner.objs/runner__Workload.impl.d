@@ -1,0 +1,1 @@
+lib/runner/workload.ml: Array Cluster Core List Proto Queue Sim

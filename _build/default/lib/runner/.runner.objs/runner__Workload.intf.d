@@ -1,0 +1,1 @@
+lib/runner/workload.mli: Cluster Sim

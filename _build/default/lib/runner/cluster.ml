@@ -1,0 +1,225 @@
+module Time_ns = Sim.Time_ns
+module Engine = Sim.Engine
+
+type system =
+  | Iss of Core.Config.protocol
+  | Single of Core.Config.protocol
+  | Mir
+
+let system_name = function
+  | Iss p -> "ISS-" ^ Core.Config.protocol_name p
+  | Single p -> Core.Config.protocol_name p
+  | Mir -> "Mir-BFT"
+
+type quorum_state = { mutable count : int; mutable reached : bool }
+
+type t = {
+  engine : Engine.t;
+  net : Proto.Message.t Sim.Network.t;
+  mutable nodes : Core.Node.t array;
+  config : Core.Config.t;
+  system : system;
+  n : int;
+  placement : int array;
+  latencies : Sim.Metrics.Histogram.t;
+  throughput : Sim.Metrics.Series.t;
+  quorums : (int, quorum_state) Hashtbl.t;  (* batch_sn -> deliveries *)
+  mutable delivered_quorum : int;
+  mutable submitted : int;
+  reply_quorum : int;
+  mutable track_delivered_ids : bool;
+  delivered_ids : (int, unit) Hashtbl.t;  (* request id keys, when tracked *)
+}
+
+let engine t = t.engine
+let network t = t.net
+let nodes t = t.nodes
+let config t = t.config
+let quorum_latencies t = t.latencies
+let delivered_quorum t = t.delivered_quorum
+let submitted t = t.submitted
+let reply_quorum t = t.reply_quorum
+let note_submitted t _req = t.submitted <- t.submitted + 1
+
+let throughput_series t ~until = Sim.Metrics.Series.rate_per_sec t.throughput ~until
+
+let n_datacenters = Array.length Sim.Topology.datacenters
+
+let client_datacenter _t ~client = client mod n_datacenters
+
+let reply_wire_size = 32
+
+let config_of_system ~system ~n ~policy ~tweak =
+  let base =
+    match system with
+    | Iss p -> Core.Config.default_for p ~n
+    | Single p ->
+        { (Core.Config.default_for p ~n) with Core.Config.leader_policy = Core.Config.Fixed [ 0 ] }
+    | Mir -> Core.Config.pbft_default ~n
+  in
+  let base =
+    match (system, policy) with
+    | Iss _, Some p -> { base with Core.Config.leader_policy = p }
+    | _ -> base
+  in
+  tweak base
+
+let factory_for (config : Core.Config.t) =
+  match config.Core.Config.protocol with
+  | Core.Config.PBFT -> Pbft.Pbft_orderer.factory
+  | Core.Config.HotStuff -> Hotstuff.Hotstuff_orderer.factory
+  | Core.Config.Raft -> Raft.Raft_orderer.factory
+
+let create ?policy ?(tweak = fun c -> c) ~system ~n ~seed () =
+  let engine = Engine.create () in
+  let rng = Sim.Rng.create ~seed in
+  let net = Sim.Network.create engine ~rng:(Sim.Rng.split rng) () in
+  let config = config_of_system ~system ~n ~policy ~tweak in
+  let placement = Sim.Topology.assign_uniform ~n in
+  let reply_quorum =
+    match config.Core.Config.protocol with
+    | Core.Config.Raft -> 1
+    | Core.Config.PBFT | Core.Config.HotStuff -> Core.Config.max_faulty config + 1
+  in
+  let t =
+    {
+      engine;
+      net;
+      nodes = [||];
+      config;
+      system;
+      n;
+      placement;
+      latencies = Sim.Metrics.Histogram.create ();
+      throughput = Sim.Metrics.Series.create ~bin:(Time_ns.sec 1);
+      quorums = Hashtbl.create 4096;
+      delivered_quorum = 0;
+      submitted = 0;
+      reply_quorum;
+      track_delivered_ids = false;
+      delivered_ids = Hashtbl.create 4096;
+    }
+  in
+  (* Measurement hook: when the [reply_quorum]-th node's delivery frontier
+     passes a batch, every request in it is answered — record latency
+     (including the reply's propagation back to the client) and
+     throughput. *)
+  let on_batch_deliver node ~sn ~first_request_sn:_ batch =
+    let node_id = Core.Node.id node in
+    (* Each delivering node sends one reply per request on its public NIC;
+       charge that bandwidth in one aggregate operation. *)
+    ignore
+      (Sim.Network.charge t.net ~endpoint:node_id ~dir:`Tx ~peer:Sim.Network.Client
+         ~bytes:(Proto.Batch.length batch * (reply_wire_size + 80)));
+    let q =
+      match Hashtbl.find_opt t.quorums sn with
+      | Some q -> q
+      | None ->
+          let q = { count = 0; reached = false } in
+          Hashtbl.replace t.quorums sn q;
+          q
+    in
+    q.count <- q.count + 1;
+    if (not q.reached) && q.count >= t.reply_quorum then begin
+      q.reached <- true;
+      let now = Engine.now t.engine in
+      let node_dc = t.placement.(node_id) in
+      let len = Proto.Batch.length batch in
+      t.delivered_quorum <- t.delivered_quorum + len;
+      Sim.Metrics.Series.add t.throughput ~at:now (float_of_int len);
+      Proto.Batch.iter
+        (fun (r : Proto.Request.t) ->
+          if t.track_delivered_ids then
+            Hashtbl.replace t.delivered_ids (Proto.Request.id_key r.id) ();
+          let client_dc = client_datacenter t ~client:r.id.Proto.Request.client in
+          let reply_prop = Sim.Topology.latency node_dc client_dc in
+          let latency =
+            Time_ns.to_sec_f (Time_ns.diff (Time_ns.add now reply_prop) r.submitted_at)
+          in
+          Sim.Metrics.Histogram.add t.latencies latency)
+        batch
+    end
+  in
+  let mir_gates =
+    match system with
+    | Mir ->
+        Some
+          (Array.init n (fun id ->
+               Mirbft.create ~engine ~n ~id
+                 ~send:(fun ~dst msg ->
+                   Sim.Network.send net ~src:id ~dst ~size:(Proto.Message.wire_size msg) msg)
+                 ~timeout:config.Core.Config.epoch_change_timeout))
+    | Iss _ | Single _ -> None
+  in
+  let hooks =
+    {
+      Core.Node.default_hooks with
+      on_batch_deliver;
+      epoch_gate =
+        (match mir_gates with
+        | Some gates -> Some (fun node ~epoch k -> Mirbft.epoch_gate gates.(Core.Node.id node) ~epoch k)
+        | None -> None);
+    }
+  in
+  let nodes =
+    Array.init n (fun id ->
+        Core.Node.create ~config ~id ~engine
+          ~send:(fun ~dst msg ->
+            Sim.Network.send net ~src:id ~dst ~size:(Proto.Message.wire_size msg) msg)
+          ~orderer_factory:(factory_for config) ~hooks ())
+  in
+  t.nodes <- nodes;
+  Array.iteri
+    (fun id node ->
+      Sim.Network.add_endpoint net ~id ~category:Sim.Network.Node ~datacenter:placement.(id)
+        ~handler:(fun ~src ~size:_ msg ->
+          let consumed =
+            match mir_gates with
+            | Some gates -> Mirbft.on_message gates.(id) ~src msg
+            | None -> false
+          in
+          if not consumed then Core.Node.on_message node ~src msg))
+    nodes;
+  t
+
+let start t = Array.iter Core.Node.start t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+let crash_at t ~node ~at =
+  ignore
+    (Engine.schedule_at t.engine ~at (fun () ->
+         Sim.Network.crash t.net node;
+         Core.Node.halt t.nodes.(node)))
+
+let crash_epoch_end t ~node =
+  (* Crash just before the node's last epoch-0 proposal.  With a fixed
+     batch rate, its k-th proposal leaves at ~k * interval; without one
+     (HotStuff), fall back to 80 % of the expected epoch duration. *)
+  let cfg = t.config in
+  let leaders =
+    match cfg.Core.Config.leader_policy with
+    | Core.Config.Fixed l -> List.length l
+    | Core.Config.Simple | Core.Config.Backoff | Core.Config.Blacklist
+    | Core.Config.Straggler_aware ->
+        t.n
+  in
+  let epoch_len = Core.Config.epoch_length cfg ~leaders in
+  let seg_len = epoch_len / leaders in
+  let at =
+    match cfg.Core.Config.batch_rate with
+    | Some rate ->
+        let interval = float_of_int leaders /. rate in
+        Time_ns.of_sec_f ((float_of_int seg_len -. 0.5) *. interval)
+    | None -> Time_ns.of_sec_f (0.8 *. float_of_int seg_len *. 0.4)
+  in
+  crash_at t ~node ~at
+
+let set_stragglers t stragglers =
+  List.iter (fun node -> Core.Node.set_straggler t.nodes.(node) true) stragglers
+
+let enable_delivery_tracking t = t.track_delivered_ids <- true
+
+let request_delivered t (r : Proto.Request.t) =
+  Hashtbl.mem t.delivered_ids (Proto.Request.id_key r.id)

@@ -1,0 +1,78 @@
+(** Cluster assembly and measurement for experiments.
+
+    Builds a complete simulated deployment — engine, WAN, replicas wired to
+    one of the seven systems the paper evaluates — and measures what the
+    paper measures: end-to-end latency (submission until a reply quorum of
+    f+1 nodes has delivered) and delivered throughput over 1-second bins. *)
+
+type system =
+  | Iss of Core.Config.protocol  (** the paper's contribution *)
+  | Single of Core.Config.protocol  (** single-leader baseline (Fixed [0]) *)
+  | Mir  (** Mir-BFT behavioural model *)
+
+val system_name : system -> string
+
+type t
+
+val engine : t -> Sim.Engine.t
+val network : t -> Proto.Message.t Sim.Network.t
+val nodes : t -> Core.Node.t array
+val config : t -> Core.Config.t
+
+val create :
+  ?policy:Core.Config.leader_policy_kind ->
+  ?tweak:(Core.Config.t -> Core.Config.t) ->
+  system:system ->
+  n:int ->
+  seed:int64 ->
+  unit ->
+  t
+(** [policy] overrides the leader-selection policy for ISS systems (the
+    default is the config preset's, i.e. BLACKLIST).  [tweak] patches the
+    final configuration (ablations). *)
+
+val start : t -> unit
+
+(** {2 Fault injection (§6.4)} *)
+
+val crash_at : t -> node:int -> at:Sim.Time_ns.t -> unit
+(** Crash: silence the node's network endpoint and halt its timers. *)
+
+val crash_epoch_end : t -> node:int -> unit
+(** Schedule a crash just before the node would propose the last sequence
+    number of its epoch-0 segment — the paper's worst case for epoch
+    duration. *)
+
+val set_stragglers : t -> int list -> unit
+(** Byzantine stragglers (§6.4.2). *)
+
+(** {2 Measurement} *)
+
+val quorum_latencies : t -> Sim.Metrics.Histogram.t
+(** Seconds from submission to reply quorum, one sample per request. *)
+
+val throughput_series : t -> until:Sim.Time_ns.t -> float array
+(** Quorum-delivered requests per second, 1-second bins. *)
+
+val delivered_quorum : t -> int
+(** Requests that reached their reply quorum so far. *)
+
+val note_submitted : t -> Proto.Request.t -> unit
+(** Workload bookkeeping: register a submitted request (for the delivered /
+    offered accounting). *)
+
+val submitted : t -> int
+
+val reply_quorum : t -> int
+(** f+1 for BFT systems, 1 for Raft. *)
+
+val client_datacenter : t -> client:int -> int
+(** Placement of a virtual client (round-robin over the datacenters). *)
+
+val enable_delivery_tracking : t -> unit
+(** Track per-request delivery (needed by the workload's resubmission
+    sweeper in fault experiments; off by default to keep huge fault-free
+    runs lean). *)
+
+val request_delivered : t -> Proto.Request.t -> bool
+(** Only meaningful after {!enable_delivery_tracking}. *)

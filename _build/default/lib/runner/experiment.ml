@@ -1,0 +1,105 @@
+module Time_ns = Sim.Time_ns
+
+type result = {
+  system : string;
+  n : int;
+  offered : float;
+  duration_s : float;
+  submitted : int;
+  delivered : int;
+  throughput : float;
+  mean_latency_s : float;
+  p50_latency_s : float;
+  p95_latency_s : float;
+  series : float array;
+  sim_events : int;
+  net_messages : int;
+  net_bytes : int;
+}
+
+type fault =
+  | Crash_at of int * float
+  | Crash_epoch_end of int
+  | Straggler of int
+
+let run ?policy ?tweak ?(faults = []) ?num_clients ?(warmup_s = 5.0) ~system ~n ~rate
+    ~duration_s ~seed () =
+  let cluster = Cluster.create ?policy ?tweak ~system ~n ~seed () in
+  let engine = Cluster.engine cluster in
+  let until = Time_ns.of_sec_f duration_s in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Crash_at (node, at_s) -> Cluster.crash_at cluster ~node ~at:(Time_ns.of_sec_f at_s)
+      | Crash_epoch_end node -> Cluster.crash_epoch_end cluster ~node
+      | Straggler node -> Cluster.set_stragglers cluster [ node ])
+    faults;
+  Cluster.start cluster;
+  (* Fault scenarios need the client resubmission mechanism of §4.3. *)
+  let resubmit = faults <> [] in
+  Workload.start ~cluster ~rate ?num_clients ~resubmit ~until ();
+  Sim.Engine.run ~until engine;
+  let series = Cluster.throughput_series cluster ~until in
+  let warmup_bins = int_of_float warmup_s in
+  let steady =
+    if Array.length series > warmup_bins + 1 then
+      Array.sub series warmup_bins (Array.length series - warmup_bins - 1)
+    else series
+  in
+  let throughput =
+    if Array.length steady = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 steady /. float_of_int (Array.length steady)
+  in
+  let hist = Cluster.quorum_latencies cluster in
+  {
+    system = Cluster.system_name system;
+    n;
+    offered = rate;
+    duration_s;
+    submitted = Cluster.submitted cluster;
+    delivered = Cluster.delivered_quorum cluster;
+    throughput;
+    mean_latency_s = Sim.Metrics.Histogram.mean hist;
+    p50_latency_s = Sim.Metrics.Histogram.percentile hist 50.0;
+    p95_latency_s = Sim.Metrics.Histogram.percentile hist 95.0;
+    series;
+    sim_events = Sim.Engine.events_executed engine;
+    net_messages = Sim.Network.messages_sent (Cluster.network cluster);
+    net_bytes = Sim.Network.bytes_sent (Cluster.network cluster);
+  }
+
+(* Analytical ceilings in this simulator (see DESIGN.md): batch-rate caps
+   for PBFT/Raft, NIC receive bandwidth for HotStuff, per-leader NIC
+   serialization for the single-leader baselines. *)
+let saturation_estimate system ~n =
+  let request_bits = 4640.0 (* 580 B on the wire *) in
+  let nic = 1e9 in
+  match system with
+  | Cluster.Iss Core.Config.PBFT | Cluster.Mir -> 32.0 *. 2048.0 *. 1.05
+  | Cluster.Iss Core.Config.Raft -> 32.0 *. 4096.0 *. 1.05
+  | Cluster.Iss Core.Config.HotStuff ->
+      (* Receive-side NIC bound, plus CPU on request verification. *)
+      min (nic /. request_bits) 190_000.0 *. 1.0
+  | Cluster.Single p ->
+      let bandwidth_bound = nic /. (request_bits *. float_of_int (max 1 (n - 1))) in
+      let rate_bound =
+        match p with
+        | Core.Config.PBFT -> 32.0 *. 2048.0
+        | Core.Config.Raft | Core.Config.HotStuff -> 32.0 *. 4096.0
+      in
+      min bandwidth_bound rate_bound *. 1.3
+
+let peak_throughput ?(tweak = fun c -> c) ~system ~n ~duration_s ~seed () =
+  let rate = saturation_estimate system ~n in
+  (* Peak runs are fault-free with honest leaders and non-retransmitting
+     modeled clients; relaxed validation skips per-request bookkeeping that
+     cannot fire (see Config.strict_validation). *)
+  let tweak c = { (tweak c) with Core.Config.strict_validation = false } in
+  run ~tweak ~system ~n ~rate ~duration_s ~seed ()
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-14s n=%-4d offered=%9.0f req/s  tput=%9.0f req/s  lat(mean/p50/p95)=%6.2f/%6.2f/%6.2f s  \
+     delivered=%d/%d"
+    r.system r.n r.offered r.throughput r.mean_latency_s r.p50_latency_s r.p95_latency_s
+    r.delivered r.submitted

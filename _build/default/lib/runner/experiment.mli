@@ -1,0 +1,62 @@
+(** Experiment drivers: one function per measurement the paper reports.
+
+    Every run is seeded and deterministic.  Results carry both the summary
+    statistics the paper's figures plot and the raw 1-second throughput
+    series for the time-series figures. *)
+
+type result = {
+  system : string;
+  n : int;
+  offered : float;  (** client request rate, req/s *)
+  duration_s : float;
+  submitted : int;
+  delivered : int;  (** requests that reached a reply quorum *)
+  throughput : float;  (** delivered req/s over the steady-state window *)
+  mean_latency_s : float;
+  p50_latency_s : float;
+  p95_latency_s : float;
+  series : float array;  (** delivered req/s per 1-second bin *)
+  sim_events : int;
+  net_messages : int;  (** node-to-node messages sent *)
+  net_bytes : int;  (** node-to-node bytes sent (incl. framing) *)
+}
+
+type fault =
+  | Crash_at of int * float  (** node, seconds *)
+  | Crash_epoch_end of int
+  | Straggler of int
+
+val run :
+  ?policy:Core.Config.leader_policy_kind ->
+  ?tweak:(Core.Config.t -> Core.Config.t) ->
+  ?faults:fault list ->
+  ?num_clients:int ->
+  ?warmup_s:float ->
+  system:Cluster.system ->
+  n:int ->
+  rate:float ->
+  duration_s:float ->
+  seed:int64 ->
+  unit ->
+  result
+(** One measurement run: build the cluster, inject faults, offer load at
+    [rate] for [duration_s] simulated seconds, report steady-state numbers
+    (the first [warmup_s], default 5 s, excluded from throughput/latency
+    aggregation of the summary — the series keeps everything). *)
+
+val peak_throughput :
+  ?tweak:(Core.Config.t -> Core.Config.t) ->
+  system:Cluster.system ->
+  n:int ->
+  duration_s:float ->
+  seed:int64 ->
+  unit ->
+  result
+(** Peak throughput before saturation (Fig. 5's y-axis): over-saturate the
+    system and measure the delivered rate. *)
+
+val saturation_estimate : Cluster.system -> n:int -> float
+(** The offered load used to over-saturate each system (≈1.3× its
+    analytical ceiling in this simulator). *)
+
+val pp_result : Format.formatter -> result -> unit

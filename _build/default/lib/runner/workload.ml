@@ -1,0 +1,143 @@
+module Time_ns = Sim.Time_ns
+module Engine = Sim.Engine
+
+let tick = Time_ns.ms 10
+
+(* Find a live node whose epoch is furthest along — the reference for the
+   current bucket-to-leader assignment (a real client learns it from a
+   quorum of Bucket_update messages; the furthest node's view is what the
+   quorum converges to). *)
+let reference_node (cluster : Cluster.t) =
+  let nodes = Cluster.nodes cluster in
+  let best = ref None in
+  Array.iter
+    (fun node ->
+      if not (Core.Node.is_halted node) then
+        match !best with
+        | Some b when Core.Node.current_epoch b >= Core.Node.current_epoch node -> ()
+        | Some _ | None -> best := Some node)
+    nodes;
+  !best
+
+let start ~cluster ~rate ?(num_clients = 2048) ?(resubmit = false) ~until () =
+  assert (rate > 0.0);
+  let engine = Cluster.engine cluster in
+  let net = Cluster.network cluster in
+  let config = Cluster.config cluster in
+  let nodes = Cluster.nodes cluster in
+  let num_buckets = Core.Config.num_buckets config in
+  let placement = Sim.Topology.assign_uniform ~n:(Array.length nodes) in
+  let next_ts = Array.make num_clients 0 in
+  let client_base = 100_000 in
+  let acc = ref 0.0 in
+  let rr = ref 0 in
+  let per_tick = rate *. Time_ns.to_sec_f tick in
+  let outstanding : Proto.Request.t Queue.t = Queue.create () in
+  let submit_one ~ref_node ~at offset =
+    match ref_node with
+    | None -> ()
+    | Some ref_node ->
+        let c = !rr mod num_clients in
+        rr := !rr + 1;
+        let client = client_base + c in
+        let ts = next_ts.(c) in
+        next_ts.(c) <- ts + 1;
+        let submitted_at = Time_ns.add at offset in
+        let r =
+          Proto.Request.make ~client ~ts ~payload_size:config.Core.Config.request_payload
+            ~sig_data:
+              (if config.Core.Config.client_signatures then Proto.Request.Presumed true
+               else Proto.Request.Unsigned)
+            ~submitted_at ()
+        in
+        Cluster.note_submitted cluster r;
+        if resubmit then Queue.push r outstanding;
+        let bucket = Proto.Request.bucket_of_id ~num_buckets r.Proto.Request.id in
+        let epoch = Core.Node.current_epoch ref_node in
+        let current = Core.Node.bucket_leader ref_node ~bucket in
+        let next1 = Core.Node.projected_bucket_leader ~config ~epoch:(epoch + 1) ~bucket in
+        let next2 = Core.Node.projected_bucket_leader ~config ~epoch:(epoch + 2) ~bucket in
+        let client_dc = Cluster.client_datacenter cluster ~client in
+        List.iter
+          (fun dst ->
+            if not (Core.Node.is_halted nodes.(dst)) then begin
+              let node_dc = placement.(dst) in
+              let prop = Sim.Topology.latency client_dc node_dc in
+              let queue =
+                Sim.Network.charge net ~endpoint:dst ~dir:`Rx ~peer:Sim.Network.Client
+                  ~bytes:(Proto.Request.wire_size r + 80)
+              in
+              ignore
+                (Engine.schedule_at engine
+                   ~at:(Time_ns.add submitted_at (prop + queue))
+                   (fun () -> Core.Node.submit nodes.(dst) r))
+            end)
+          (List.sort_uniq compare [ current; next1; next2 ])
+  in
+  let deliver_to ~dst (r : Proto.Request.t) =
+    if not (Core.Node.is_halted nodes.(dst)) then begin
+      let client_dc = Cluster.client_datacenter cluster ~client:r.id.Proto.Request.client in
+      let prop = Sim.Topology.latency client_dc placement.(dst) in
+      let queue =
+        Sim.Network.charge net ~endpoint:dst ~dir:`Rx ~peer:Sim.Network.Client
+          ~bytes:(Proto.Request.wire_size r + 80)
+      in
+      ignore
+        (Engine.schedule engine ~delay:(prop + queue) (fun () ->
+             (* Re-check on arrival: a resubmitted request may have been
+                delivered while this copy was in flight.  In relaxed mode
+                the node skips its own duplicate filtering, so this check
+                is what keeps resubmission from re-ordering delivered
+                requests. *)
+             if not (resubmit && Cluster.request_delivered cluster r) then
+               Core.Node.submit nodes.(dst) r))
+    end
+  in
+  let rec sweeper () =
+    if resubmit && Engine.now engine <= until then begin
+      (match reference_node cluster with
+      | Some ref_node ->
+          let budget = Queue.length outstanding in
+          for _ = 1 to budget do
+            match Queue.take_opt outstanding with
+            | None -> ()
+            | Some r ->
+                if not (Cluster.request_delivered cluster r) then begin
+                  (* Only requests that have clearly stalled are re-sent
+                     (the paper's clients resubmit at epoch transitions;
+                     5 s approximates an epoch under load). *)
+                  if Time_ns.diff (Engine.now engine) r.Proto.Request.submitted_at
+                     > Time_ns.sec 5
+                  then begin
+                    let bucket =
+                      Proto.Request.bucket_of_id ~num_buckets r.Proto.Request.id
+                    in
+                    deliver_to ~dst:(Core.Node.bucket_leader ref_node ~bucket) r
+                  end;
+                  Queue.push r outstanding
+                end
+          done
+      | None -> ());
+      ignore (Engine.schedule engine ~delay:(Time_ns.sec 2) (fun () -> sweeper ()))
+    end
+  in
+  if resubmit then begin
+    Cluster.enable_delivery_tracking cluster;
+    ignore (Engine.schedule engine ~delay:(Time_ns.sec 2) (fun () -> sweeper ()))
+  end;
+  let rec tick_loop () =
+    let now = Engine.now engine in
+    if now <= until then begin
+      acc := !acc +. per_tick;
+      let k = int_of_float !acc in
+      acc := !acc -. float_of_int k;
+      let ref_node = if k > 0 then reference_node cluster else None in
+      for j = 0 to k - 1 do
+        (* Spread arrivals uniformly within the tick. *)
+        let offset = j * tick / max 1 k in
+        submit_one ~ref_node ~at:now offset
+      done;
+      ignore (Engine.schedule engine ~delay:tick (fun () -> tick_loop ()))
+    end
+  in
+  tick_loop ()

@@ -1,0 +1,34 @@
+(** Modeled client workload.
+
+    The paper drives ISS with 256 closed-loop clients spread over all
+    datacenters.  Simulating every client message at 10⁵ req/s would melt
+    the event queue without changing the result, so the workload generator
+    models the client side:
+
+    - requests arrive open-loop at a configurable aggregate rate, attributed
+      to a pool of virtual clients (consecutive timestamps each, spread over
+      the 16 datacenters);
+    - leader detection (§4.3) is modeled exactly: each request goes to the
+      node currently leading its bucket plus the projected owners in the
+      next two epochs;
+    - the client→node propagation latency {e and} the target node's public
+      NIC bandwidth are charged for every copy.
+
+    Reply traffic is charged by {!Cluster}'s delivery hook. *)
+
+val start :
+  cluster:Cluster.t ->
+  rate:float ->
+  ?num_clients:int ->
+  ?resubmit:bool ->
+  until:Sim.Time_ns.t ->
+  unit ->
+  unit
+(** Generate [rate] requests/s until the given simulated time.
+    [num_clients] defaults to 2048 — enough that per-client watermark
+    windows never throttle the aggregate rate.
+
+    [resubmit] (default false) models §4.3's client resubmission: a sweeper
+    re-sends every not-yet-delivered request to the {e current} owner of
+    its bucket every two seconds.  Required for fault experiments, where a
+    request's original target may have crashed or lost the bucket. *)

@@ -1,0 +1,65 @@
+type event = {
+  time : Time_ns.t;
+  seq : int;
+  mutable cancelled : bool;
+  action : unit -> unit;
+}
+
+type timer_id = event
+
+type t = {
+  queue : event Heap.t;
+  mutable clock : Time_ns.t;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let compare_event a b =
+  if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
+
+let create () =
+  { queue = Heap.create ~cmp:compare_event; clock = Time_ns.zero; next_seq = 0; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at action =
+  let at = if at < t.clock then t.clock else at in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let ev = { time = at; seq; cancelled = false; action } in
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay action =
+  let delay = if delay < 0 then 0 else delay in
+  schedule_at t ~at:(Time_ns.add t.clock delay) action
+
+let cancel _t ev = ev.cancelled <- true
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      if not ev.cancelled then begin
+        t.executed <- t.executed + 1;
+        ev.action ()
+      end;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | Some ev when ev.time <= limit -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- limit;
+            continue := false
+      done
+
+let events_executed t = t.executed

@@ -1,0 +1,44 @@
+(** Deterministic discrete-event simulation engine.
+
+    One engine owns the virtual clock and the event queue.  All simulated
+    activity — message deliveries, protocol timers, workload arrivals — is an
+    event: a closure scheduled at a virtual time.  Events at equal times fire
+    in insertion order, so a run is a pure function of the seed and the
+    initial schedule. *)
+
+type t
+
+type timer_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Time_ns.t
+(** Current virtual time. *)
+
+val schedule : t -> delay:Time_ns.span -> (unit -> unit) -> timer_id
+(** [schedule t ~delay f] runs [f] at [now t + delay].  A non-positive delay
+    schedules for the current instant (after currently-queued same-time
+    events).  Returns a handle usable with {!cancel}. *)
+
+val schedule_at : t -> at:Time_ns.t -> (unit -> unit) -> timer_id
+(** Absolute-time variant.  Times in the past are clamped to [now]. *)
+
+val cancel : t -> timer_id -> unit
+(** Cancelling an already-fired or already-cancelled timer is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled tombstones). *)
+
+val run : ?until:Time_ns.t -> t -> unit
+(** Drains the event queue.  With [~until], stops once the next event would
+    fire strictly after [until] and sets the clock to [until]; without it,
+    runs until the queue is empty. *)
+
+val step : t -> bool
+(** Executes the single next event.  Returns [false] when the queue is
+    empty. *)
+
+val events_executed : t -> int
+(** Total events executed so far (cancelled events excluded); useful for
+    reporting simulation effort. *)

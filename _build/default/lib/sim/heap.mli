@@ -1,0 +1,21 @@
+(** Array-backed binary min-heap, the simulator's event queue core.
+
+    Elements are ordered by a user-supplied comparison.  The simulator orders
+    events by [(time, insertion sequence)] so that simultaneous events fire in
+    a deterministic FIFO order. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit

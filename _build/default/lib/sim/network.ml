@@ -1,0 +1,137 @@
+type category = Node | Client
+
+type config = {
+  bandwidth_bps : float;
+  per_message_overhead : int;
+  jitter : Time_ns.span;
+}
+
+let default_config =
+  { bandwidth_bps = 1e9; per_message_overhead = 80; jitter = Time_ns.ms 2 }
+
+type 'a endpoint = {
+  category : category;
+  datacenter : int;
+  handler : src:int -> size:int -> 'a -> unit;
+  (* NIC serialization horizons: time at which each NIC direction frees up.
+     Nodes have two NICs (index 0 = private node<->node, 1 = public
+     client-facing); clients only use index 0. *)
+  tx_free : Time_ns.t array;
+  rx_free : Time_ns.t array;
+  mutable crashed : bool;
+  mutable bytes_out : int;
+}
+
+type 'a t = {
+  engine : Engine.t;
+  config : config;
+  rng : Rng.t;
+  endpoints : (int, 'a endpoint) Hashtbl.t;
+  mutable partition : (int -> int) option;
+  mutable drop_prob : float;
+  mutable n_sent : int;
+  mutable total_bytes : int;
+}
+
+let create ?(config = default_config) engine ~rng () =
+  {
+    engine;
+    config;
+    rng;
+    endpoints = Hashtbl.create 64;
+    partition = None;
+    drop_prob = 0.0;
+    n_sent = 0;
+    total_bytes = 0;
+  }
+
+let add_endpoint t ~id ~category ~datacenter ~handler =
+  if Hashtbl.mem t.endpoints id then invalid_arg "Network.add_endpoint: duplicate id";
+  Hashtbl.replace t.endpoints id
+    {
+      category;
+      datacenter;
+      handler;
+      tx_free = [| Time_ns.zero; Time_ns.zero |];
+      rx_free = [| Time_ns.zero; Time_ns.zero |];
+      crashed = false;
+      bytes_out = 0;
+    }
+
+let endpoint t id =
+  match Hashtbl.find_opt t.endpoints id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Network: unknown endpoint %d" id)
+
+(* Which NIC a node uses depends on who it talks to: private (0) for other
+   nodes, public (1) for clients.  Clients have a single NIC. *)
+let nic_index ep ~peer_category =
+  match (ep.category, peer_category) with
+  | Node, Node -> 0
+  | Node, Client -> 1
+  | Client, _ -> 0
+
+let transmission_time t bytes =
+  Time_ns.of_sec_f (float_of_int (bytes * 8) /. t.config.bandwidth_bps)
+
+let partitioned t src dst =
+  match t.partition with
+  | None -> false
+  | Some group -> group src <> group dst
+
+let send t ~src ~dst ~size payload =
+  let se = endpoint t src and de = endpoint t dst in
+  if not (se.crashed || de.crashed || partitioned t src dst) then begin
+    let wire_bytes = size + t.config.per_message_overhead in
+    t.n_sent <- t.n_sent + 1;
+    t.total_bytes <- t.total_bytes + wire_bytes;
+    se.bytes_out <- se.bytes_out + wire_bytes;
+    let dropped = t.drop_prob > 0.0 && Rng.float t.rng 1.0 < t.drop_prob in
+    (* Even a dropped message consumes sender bandwidth. *)
+    let now = Engine.now t.engine in
+    let tx_nic = nic_index se ~peer_category:de.category in
+    let serialize = transmission_time t wire_bytes in
+    let depart = Time_ns.add (max now se.tx_free.(tx_nic)) serialize in
+    se.tx_free.(tx_nic) <- depart;
+    if not dropped then begin
+      let prop = Topology.latency se.datacenter de.datacenter in
+      let jit = if t.config.jitter > 0 then Rng.int t.rng t.config.jitter else 0 in
+      let arrive = Time_ns.add depart (prop + jit) in
+      ignore
+        (Engine.schedule_at t.engine ~at:arrive (fun () ->
+             (* Receiver-side NIC serialization, then delivery.  Re-check
+                crash state: the receiver may have crashed in the interim. *)
+             if not de.crashed then begin
+               let rx_nic = nic_index de ~peer_category:se.category in
+               let now = Engine.now t.engine in
+               let deliver = Time_ns.add (max now de.rx_free.(rx_nic)) serialize in
+               de.rx_free.(rx_nic) <- deliver;
+               ignore
+                 (Engine.schedule_at t.engine ~at:deliver (fun () ->
+                      if not de.crashed then de.handler ~src ~size payload))
+             end))
+    end
+  end
+
+let multicast t ~src ~dsts ~size payload =
+  List.iter (fun dst -> send t ~src ~dst ~size payload) dsts
+
+let charge t ~endpoint:id ~dir ~peer ~bytes =
+  let ep = endpoint t id in
+  let nic = nic_index ep ~peer_category:peer in
+  let now = Engine.now t.engine in
+  let serialize = transmission_time t bytes in
+  let horizon = match dir with `Tx -> ep.tx_free | `Rx -> ep.rx_free in
+  let free_at = Time_ns.add (max now horizon.(nic)) serialize in
+  horizon.(nic) <- free_at;
+  if dir = `Tx then ep.bytes_out <- ep.bytes_out + bytes;
+  Time_ns.diff free_at now
+
+let crash t id = (endpoint t id).crashed <- true
+let recover t id = (endpoint t id).crashed <- false
+let is_crashed t id = (endpoint t id).crashed
+let set_partition t p = t.partition <- p
+let set_drop_probability t p = t.drop_prob <- p
+let messages_sent t = t.n_sent
+let bytes_sent t = t.total_bytes
+let endpoint_bytes_sent t id = (endpoint t id).bytes_out

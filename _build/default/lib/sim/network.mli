@@ -1,0 +1,85 @@
+(** Simulated WAN with bandwidth-limited NICs.
+
+    This is what makes the paper's headline result reproducible: a
+    single-leader protocol's leader must serialize O(n) copies of every batch
+    through one rate-limited NIC, so its throughput decays as 1/n, while ISS
+    spreads proposals over all leaders' NICs.
+
+    Model, per message:
+    + the sender's outgoing NIC serializes it: it departs at
+      [max(now, tx_free) + size/bandwidth];
+    + it propagates for the topology latency between the two endpoints'
+      datacenters, plus optional jitter;
+    + the receiver's incoming NIC serializes it symmetrically;
+    + the receiver's handler runs at the resulting delivery time.
+
+    Endpoints are small integers.  Each endpoint is either a [Node] or a
+    [Client]; following the paper, nodes have two full-duplex NICs — a
+    private one used for node↔node traffic and a public one for
+    client↔node traffic — while clients have one.
+
+    Failure injection: endpoints can be crashed (silently dropping their
+    traffic both ways), pairs can be partitioned, and a uniform drop
+    probability can be set. *)
+
+type 'a t
+(** A network carrying payloads of type ['a]. *)
+
+type category = Node | Client
+
+type config = {
+  bandwidth_bps : float;  (** per-NIC, per-direction, bits per second *)
+  per_message_overhead : int;  (** framing bytes added to every message *)
+  jitter : Time_ns.span;  (** max uniform extra propagation delay *)
+}
+
+val default_config : config
+(** 1 Gbps NICs, 80 B overhead, 2 ms max jitter — the paper's setup. *)
+
+val create : ?config:config -> Engine.t -> rng:Rng.t -> unit -> 'a t
+
+val add_endpoint :
+  'a t ->
+  id:int ->
+  category:category ->
+  datacenter:int ->
+  handler:(src:int -> size:int -> 'a -> unit) ->
+  unit
+(** Registers endpoint [id].  [datacenter] indexes {!Topology.datacenters}.
+    The handler is invoked at delivery time. *)
+
+val send : 'a t -> src:int -> dst:int -> size:int -> 'a -> unit
+(** [size] is the application payload size in bytes; framing overhead is
+    added internally.  Sending to or from a crashed or partitioned-away
+    endpoint silently drops the message (as a real network would). *)
+
+val multicast : 'a t -> src:int -> dsts:int list -> size:int -> 'a -> unit
+(** Point-to-point sends to each destination (no network-level multicast:
+    each copy consumes sender bandwidth, exactly the single-leader cost). *)
+
+val crash : 'a t -> int -> unit
+(** Endpoint stops sending and receiving. *)
+
+val recover : 'a t -> int -> unit
+val is_crashed : 'a t -> int -> bool
+
+val set_partition : 'a t -> (int -> int) option -> unit
+(** [set_partition t (Some group)] drops messages between endpoints whose
+    [group] differs; [None] heals. *)
+
+val set_drop_probability : 'a t -> float -> unit
+(** Uniform i.i.d. message-drop probability in [\[0,1\]]. *)
+
+val charge : 'a t -> endpoint:int -> dir:[ `Tx | `Rx ] -> peer:category -> bytes:int -> Time_ns.span
+(** Consume NIC bandwidth without materializing a message: advances the
+    endpoint's serialization horizon for the NIC facing [peer] and returns
+    the queueing + serialization delay from now.  Modeled (aggregated)
+    client traffic and replies use this so that their bandwidth cost is
+    honest without simulating millions of small messages. *)
+
+val messages_sent : 'a t -> int
+val bytes_sent : 'a t -> int
+
+val endpoint_bytes_sent : 'a t -> int -> int
+(** Bytes a given endpoint has pushed into its NICs; identifies bottleneck
+    nodes. *)

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    The simulator must be fully reproducible: every experiment is seeded and
+    re-running it yields bit-identical traces.  We implement SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014), a small, fast, well-distributed
+    generator whose [split] operation lets independent components draw from
+    statistically independent streams derived from one master seed. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and advances
+    [t].  Used to give each node / client / link its own stream so that adding
+    a consumer does not perturb the draws of the others. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean (inter-arrival times
+    of a Poisson process). *)
+
+val uniform_range : t -> lo:float -> hi:float -> float
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws from a Zipf distribution over [\[1, n\]] with skew
+    [s], by inversion over the precomputed harmonic CDF (rebuilt when [n] or
+    [s] changes; cached otherwise).  Used for skewed client workloads. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element. Requires a non-empty array. *)

@@ -1,0 +1,14 @@
+type t = int
+type span = int
+
+let zero = 0
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = x * 1_000_000_000
+let of_sec_f s = int_of_float (Float.round (s *. 1e9))
+let to_sec_f t = float_of_int t /. 1e9
+let to_ms_f t = float_of_int t /. 1e6
+let add t d = t + d
+let diff a b = a - b
+let pp fmt t = Format.fprintf fmt "%.3fs" (to_sec_f t)

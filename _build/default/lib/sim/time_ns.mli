@@ -1,0 +1,30 @@
+(** Simulated time.
+
+    All simulator timestamps and durations are integer nanoseconds carried in
+    a native [int] (63 bits: ±146 years, ample for any experiment).  A thin
+    abstraction keeps unit mistakes out of protocol code. *)
+
+type t = int
+(** A point in simulated time, in nanoseconds since simulation start. *)
+
+type span = int
+(** A duration in nanoseconds. *)
+
+val zero : t
+
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val sec : int -> span
+
+val of_sec_f : float -> span
+(** Fractional seconds to a span (rounded to the nearest nanosecond). *)
+
+val to_sec_f : span -> float
+val to_ms_f : span -> float
+
+val add : t -> span -> t
+val diff : t -> t -> span
+
+val pp : Format.formatter -> t -> unit
+(** Renders as seconds with millisecond precision, e.g. ["12.345s"]. *)

@@ -1,0 +1,64 @@
+type datacenter = { name : string; lat : float; lon : float }
+
+(* 16 locations approximating IBM Cloud's multi-zone regions across the four
+   continents mentioned in the paper. *)
+let datacenters =
+  [|
+    { name = "Dallas"; lat = 32.78; lon = -96.80 };
+    { name = "WashingtonDC"; lat = 38.90; lon = -77.04 };
+    { name = "SanJose"; lat = 37.34; lon = -121.89 };
+    { name = "Toronto"; lat = 43.65; lon = -79.38 };
+    { name = "Montreal"; lat = 45.50; lon = -73.57 };
+    { name = "SaoPaulo"; lat = -23.55; lon = -46.63 };
+    { name = "London"; lat = 51.51; lon = -0.13 };
+    { name = "Frankfurt"; lat = 50.11; lon = 8.68 };
+    { name = "Paris"; lat = 48.86; lon = 2.35 };
+    { name = "Milan"; lat = 45.46; lon = 9.19 };
+    { name = "Oslo"; lat = 59.91; lon = 10.75 };
+    { name = "Tokyo"; lat = 35.68; lon = 139.69 };
+    { name = "Osaka"; lat = 34.69; lon = 135.50 };
+    { name = "Singapore"; lat = 1.35; lon = 103.82 };
+    { name = "Chennai"; lat = 13.08; lon = 80.27 };
+    { name = "Sydney"; lat = -33.87; lon = 151.21 };
+  |]
+
+let pi = 4.0 *. atan 1.0
+let deg2rad d = d *. pi /. 180.0
+
+(* Great-circle distance in kilometers (haversine formula). *)
+let haversine_km a b =
+  let r = 6371.0 in
+  let dlat = deg2rad (b.lat -. a.lat) and dlon = deg2rad (b.lon -. a.lon) in
+  let h =
+    (sin (dlat /. 2.0) ** 2.0)
+    +. (cos (deg2rad a.lat) *. cos (deg2rad b.lat) *. (sin (dlon /. 2.0) ** 2.0))
+  in
+  2.0 *. r *. asin (sqrt h)
+
+(* One-way latency: light in fiber covers ~200 km/ms; real routes detour, so
+   we apply a 1.4x path-stretch factor, plus a 0.25 ms fixed hop cost. *)
+let latency_of_km km = Time_ns.of_sec_f ((km *. 1.4 /. 200_000.0) +. 0.00025)
+
+let n_dc = Array.length datacenters
+
+let matrix =
+  lazy
+    (Array.init n_dc (fun i ->
+         Array.init n_dc (fun j ->
+             if i = j then Time_ns.of_sec_f 0.00025
+             else latency_of_km (haversine_km datacenters.(i) datacenters.(j)))))
+
+let latency a b = (Lazy.force matrix).(a).(b)
+
+(* The paper's 4-node setup spans 4 datacenters on 4 continents. *)
+let four_continents = [| 0 (* Dallas *); 7 (* Frankfurt *); 13 (* Singapore *); 15 (* Sydney *) |]
+
+let assign_uniform ~n =
+  if n <= 4 then Array.init n (fun i -> four_continents.(i))
+  else Array.init n (fun i -> i mod n_dc)
+
+let max_latency () =
+  let m = Lazy.force matrix in
+  let best = ref 0 in
+  Array.iter (fun row -> Array.iter (fun v -> if v > !best then best := v) row) m;
+  !best

@@ -1,0 +1,30 @@
+(** WAN topology model.
+
+    The paper deploys on 16 IBM-cloud datacenters spread over Europe,
+    America, Australia and Asia.  We model those locations by real city
+    coordinates and derive one-way propagation latency from great-circle
+    distance at an effective signal speed (fiber ≈ 2/3 c, plus routing
+    detours), which matches published inter-datacenter RTTs within ~20 %. *)
+
+type datacenter = {
+  name : string;
+  lat : float;  (** degrees *)
+  lon : float;  (** degrees *)
+}
+
+val datacenters : datacenter array
+(** The 16 modelled locations. *)
+
+val latency : int -> int -> Time_ns.span
+(** [latency a b] is the one-way propagation latency between datacenters [a]
+    and [b] (indices into {!datacenters}).  Symmetric; [latency a a] models
+    an intra-datacenter hop (~0.25 ms). *)
+
+val assign_uniform : n:int -> int array
+(** Placement of [n] processes over the 16 datacenters, round-robin, as the
+    paper does ("uniformly distributed across all datacenters").  For [n = 4]
+    the paper instead uses 4 datacenters on 4 continents; this function
+    special-cases that. *)
+
+val max_latency : unit -> Time_ns.span
+(** Largest pairwise one-way latency in the matrix. *)

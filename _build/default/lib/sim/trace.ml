@@ -1,0 +1,44 @@
+type level = Debug | Info | Warn
+
+let enabled = ref false
+let level = ref Info
+let sink : Buffer.t option ref = ref None
+
+let set_enabled b = enabled := b
+let set_level l = level := l
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+let emit engine lvl fmt =
+  if !enabled && severity lvl >= severity !level then begin
+    let k ppf =
+      Format.fprintf ppf "[%a] " Time_ns.pp (Engine.now engine);
+      ppf
+    in
+    match !sink with
+    | Some buf ->
+        let ppf = Format.formatter_of_buffer buf in
+        Format.kfprintf
+          (fun ppf -> Format.fprintf ppf "@."; Format.pp_print_flush ppf ())
+          (k ppf) fmt
+    | None ->
+        Format.kfprintf (fun ppf -> Format.fprintf ppf "@.") (k Format.err_formatter) fmt
+  end
+  else Format.ifprintf Format.err_formatter fmt
+
+let with_capture f =
+  let buf = Buffer.create 256 in
+  let saved_sink = !sink and saved_enabled = !enabled in
+  sink := Some buf;
+  enabled := true;
+  let finish () =
+    sink := saved_sink;
+    enabled := saved_enabled
+  in
+  match f () with
+  | v ->
+      finish ();
+      (v, Buffer.contents buf)
+  | exception e ->
+      finish ();
+      raise e

@@ -1,0 +1,18 @@
+(** Lightweight simulation tracing.
+
+    Protocol code emits trace points tagged with the simulated time; tests
+    and the CLI can turn categories on to debug protocol runs without paying
+    any formatting cost when disabled. *)
+
+type level = Debug | Info | Warn
+
+val set_enabled : bool -> unit
+val set_level : level -> unit
+
+val emit : Engine.t -> level -> ('a, Format.formatter, unit) format -> 'a
+(** [emit engine lvl fmt ...] prints ["[<sim time>] <msg>"] to stderr when
+    tracing is enabled at [lvl] or below. *)
+
+val with_capture : (unit -> 'a) -> 'a * string
+(** Runs the thunk with tracing redirected into a buffer; returns the result
+    and the captured trace text.  Used by tests asserting on trace output. *)

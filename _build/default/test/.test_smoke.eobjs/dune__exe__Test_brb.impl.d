@@ -1,0 +1,1 @@
+test/test_brb.ml: Alcotest Array Brb Fun List Printf Sim

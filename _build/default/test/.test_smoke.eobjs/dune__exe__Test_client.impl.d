@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Array Core List Printf Proto Sim

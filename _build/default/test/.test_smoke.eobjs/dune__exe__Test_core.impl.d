@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Gen Hashtbl Int64 Iss_crypto List Option Printf Proto QCheck QCheck_alcotest Sim Test

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Gen Iss_crypto List QCheck QCheck_alcotest String

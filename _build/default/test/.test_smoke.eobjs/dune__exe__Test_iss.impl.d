@@ -1,0 +1,1 @@
+test/test_iss.ml: Alcotest Array Core Hotstuff Int64 Iss_crypto List Pbft Printf Proto QCheck QCheck_alcotest Raft Sim

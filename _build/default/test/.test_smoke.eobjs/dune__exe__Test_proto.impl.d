@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Hashtbl Iss_crypto List Printf Proto String

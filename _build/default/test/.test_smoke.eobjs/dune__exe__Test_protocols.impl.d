@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Core Hotstuff Iss_crypto List Pbft Printf Proto Raft Sim

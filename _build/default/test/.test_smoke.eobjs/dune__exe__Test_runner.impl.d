@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Core List Mirbft Printf Proto Runner Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Printf QCheck QCheck_alcotest Sim String

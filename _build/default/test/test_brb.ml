@@ -1,0 +1,318 @@
+(* Tests for the Section-5 stack: Bracha BRB, the ◇S(bz) failure detector,
+   single-shot consensus, and the SB-from-consensus construction
+   (Algorithm 5) — including the four SB properties. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A small in-simulator harness wiring n processes of some protocol over
+   the network; handlers are installed after creation (two-phase init). *)
+let make_harness ~n ~seed ~create =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed in
+  let net = Sim.Network.create engine ~rng () in
+  let placement = Sim.Topology.assign_uniform ~n in
+  (* Two-phase init: processes need a send function before they exist;
+     route through a mutable dispatch table. *)
+  let handlers = Array.make n (fun ~src:_ _ -> ()) in
+  for id = 0 to n - 1 do
+    Sim.Network.add_endpoint net ~id ~category:Sim.Network.Node ~datacenter:placement.(id)
+      ~handler:(fun ~src ~size:_ msg -> handlers.(id) ~src msg)
+  done;
+  let send_from src ~dst msg =
+    if dst = src then
+      ignore
+        (Sim.Engine.schedule engine ~delay:(Sim.Time_ns.us 10) (fun () ->
+             handlers.(src) ~src msg))
+    else Sim.Network.send net ~src ~dst ~size:(Brb.Brb_msg.wire_size msg) msg
+  in
+  let procs = Array.init n (fun id -> create ~engine ~id ~send:(send_from id)) in
+  (procs, handlers, engine, net)
+
+(* ------------------------------------------------------------------ *)
+(* Bracha BRB *)
+
+let brb_harness ~n ~sender ~seed =
+  let delivered = Array.make n None in
+  let procs, handlers, engine, net =
+    make_harness ~n ~seed ~create:(fun ~engine:_ ~id ~send ->
+        Brb.Bracha.create ~n ~me:id ~instance:0 ~sender ~send ~deliver:(fun payload ->
+            delivered.(id) <- Some payload))
+  in
+  Array.iteri (fun id p -> handlers.(id) <- (fun ~src msg -> Brb.Bracha.on_message p ~src msg)) procs;
+  (procs, delivered, engine, net)
+
+let test_brb_delivery () =
+  let procs, delivered, engine, _ = brb_harness ~n:4 ~sender:0 ~seed:1L in
+  Brb.Bracha.broadcast procs.(0) "value";
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 10) engine;
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Some "value" -> ()
+      | Some other -> Alcotest.failf "node %d delivered %S" i other
+      | None -> Alcotest.failf "node %d delivered nothing" i)
+    delivered
+
+let test_brb_totality_with_crashed_sender_mid_broadcast () =
+  (* The sender crashes right after sending: once any correct node
+     delivers, all correct nodes deliver (READY amplification). *)
+  let procs, delivered, engine, net = brb_harness ~n:4 ~sender:0 ~seed:2L in
+  Brb.Bracha.broadcast procs.(0) "v";
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time_ns.ms 400) (fun () ->
+         Sim.Network.crash net 0));
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 20) engine;
+  (* All correct nodes (1..3) agree: either all or none delivered. *)
+  let count =
+    Array.fold_left (fun acc v -> if v <> None then acc + 1 else acc) 0
+      (Array.sub delivered 1 3)
+  in
+  check_bool "all-or-nothing among correct" true (count = 0 || count = 3)
+
+let test_brb_quiet_sender_no_delivery () =
+  let _, delivered, engine, _ = brb_harness ~n:4 ~sender:0 ~seed:3L in
+  (* Sender never broadcasts. *)
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 10) engine;
+  Array.iter (fun v -> check_bool "nothing delivered" true (v = None)) delivered
+
+let test_brb_non_sender_cannot_broadcast () =
+  let procs, _, _, _ = brb_harness ~n:4 ~sender:0 ~seed:4L in
+  Alcotest.check_raises "non-sender rejected"
+    (Invalid_argument "Bracha.broadcast: not the designated sender") (fun () ->
+      Brb.Bracha.broadcast procs.(1) "evil")
+
+(* ------------------------------------------------------------------ *)
+(* Failure detector *)
+
+let fd_harness ~n ~seed =
+  let fds, handlers, engine, net =
+    make_harness ~n ~seed ~create:(fun ~engine ~id ~send ->
+        Brb.Failure_detector.create ~engine ~n ~me:id ~send ())
+  in
+  Array.iteri
+    (fun id fd -> handlers.(id) <- (fun ~src msg -> Brb.Failure_detector.on_message fd ~src msg))
+    fds;
+  (fds, engine, net)
+
+let test_fd_strong_completeness () =
+  let fds, engine, net = fd_harness ~n:4 ~seed:5L in
+  Array.iter Brb.Failure_detector.start fds;
+  (* Node 3 crashes immediately: everyone must eventually suspect it. *)
+  Sim.Network.crash net 3;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 30) engine;
+  for i = 0 to 2 do
+    check_bool
+      (Printf.sprintf "node %d suspects 3" i)
+      true
+      (Brb.Failure_detector.suspected fds.(i) 3)
+  done
+
+let test_fd_accuracy_and_restore () =
+  let fds, engine, net = fd_harness ~n:4 ~seed:6L in
+  let restored = ref 0 in
+  Array.iter (fun fd -> Brb.Failure_detector.on_restore fd (fun _ -> incr restored)) fds;
+  Array.iter Brb.Failure_detector.start fds;
+  (* A transient partition of node 2, healed later: node 2 gets suspected,
+     then restored, and stays unsuspected (timeout doubled past the glitch). *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time_ns.sec 1) (fun () ->
+         Sim.Network.set_partition net (Some (fun id -> if id = 2 then 1 else 0))));
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time_ns.sec 8) (fun () ->
+         Sim.Network.set_partition net None));
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 60) engine;
+  check_bool "restore events fired" true (!restored > 0);
+  for i = 0 to 3 do
+    if i <> 2 then
+      check_bool (Printf.sprintf "node %d no longer suspects 2" i) false
+        (Brb.Failure_detector.suspected fds.(i) 2)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Consensus *)
+
+let consensus_harness ~n ~seed ~acceptable =
+  let decisions = Array.make n None in
+  let procs, handlers, engine, net =
+    make_harness ~n ~seed ~create:(fun ~engine ~id ~send ->
+        Brb.Consensus.create ~engine ~n ~me:id ~instance:0 ~send ~acceptable
+          ~decide:(fun v -> decisions.(id) <- Some v)
+          ())
+  in
+  Array.iteri
+    (fun id p -> handlers.(id) <- (fun ~src msg -> Brb.Consensus.on_message p ~src msg))
+    procs;
+  (procs, decisions, engine, net)
+
+let test_consensus_unanimous () =
+  let procs, decisions, engine, _ = consensus_harness ~n:4 ~seed:7L ~acceptable:(fun _ -> true) in
+  Array.iter (fun p -> Brb.Consensus.propose p (Some "v")) procs;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 30) engine;
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some (Some "v") -> ()
+      | _ -> Alcotest.failf "node %d decided wrongly" i)
+    decisions
+
+let test_consensus_crashed_coordinator () =
+  let procs, decisions, engine, net =
+    consensus_harness ~n:4 ~seed:8L ~acceptable:(fun _ -> true)
+  in
+  (* Coordinator of view 0 (node 0) is dead; the view change must rotate to
+     node 1, which then drives a decision. *)
+  Sim.Network.crash net 0;
+  Array.iteri (fun i p -> if i > 0 then Brb.Consensus.propose p (Some "w")) procs;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 60) engine;
+  let decided =
+    Array.to_list decisions |> List.filteri (fun i _ -> i > 0) |> List.filter_map Fun.id
+  in
+  check_int "all correct decide" 3 (List.length decided);
+  List.iter (fun v -> check_bool "decide w" true (v = Some "w")) decided
+
+let test_consensus_agreement_mixed_bot () =
+  (* Half propose ⊥, half propose a value: everyone must decide the same
+     thing. *)
+  let procs, decisions, engine, _ = consensus_harness ~n:4 ~seed:9L ~acceptable:(fun _ -> true) in
+  Array.iteri
+    (fun i p -> Brb.Consensus.propose p (if i < 2 then None else Some "x"))
+    procs;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 60) engine;
+  let ds = Array.to_list decisions |> List.filter_map Fun.id in
+  check_int "all decide" 4 (List.length ds);
+  match ds with
+  | first :: rest -> List.iter (fun v -> check_bool "agreement" true (v = first)) rest
+  | [] -> Alcotest.fail "no decisions"
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 5: SB from BRB + consensus + FD *)
+
+let sb_harness ~n ~sender ~seq_nrs ~seed =
+  let deliveries = Array.make n [] in
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed in
+  let net = Sim.Network.create engine ~rng () in
+  let placement = Sim.Topology.assign_uniform ~n in
+  let handlers = Array.make n (fun ~src:_ _ -> ()) in
+  for id = 0 to n - 1 do
+    Sim.Network.add_endpoint net ~id ~category:Sim.Network.Node ~datacenter:placement.(id)
+      ~handler:(fun ~src ~size:_ msg -> handlers.(id) ~src msg)
+  done;
+  let send_from src ~dst msg =
+    if dst = src then
+      ignore
+        (Sim.Engine.schedule engine ~delay:(Sim.Time_ns.us 10) (fun () ->
+             handlers.(src) ~src msg))
+    else Sim.Network.send net ~src ~dst ~size:(Brb.Brb_msg.wire_size msg) msg
+  in
+  let fds =
+    Array.init n (fun id ->
+        Brb.Failure_detector.create ~engine ~n ~me:id ~send:(send_from id) ())
+  in
+  let sbs =
+    Array.init n (fun id ->
+        Brb.Sb_cons.create ~engine ~n ~me:id ~sender ~seq_nrs ~instance_base:100
+          ~send:(send_from id) ~fd:fds.(id)
+          ~deliver:(fun ~sn v -> deliveries.(id) <- (sn, v) :: deliveries.(id)))
+  in
+  Array.iteri
+    (fun id sb -> handlers.(id) <- (fun ~src msg -> Brb.Sb_cons.on_message sb ~src msg))
+    sbs;
+  Array.iter Brb.Failure_detector.start fds;
+  Array.iter Brb.Sb_cons.init sbs;
+  (sbs, deliveries, engine, net)
+
+let test_sb_happy_path () =
+  let seq_nrs = [| 0; 3; 6 |] in
+  let sbs, deliveries, engine, _ = sb_harness ~n:4 ~sender:0 ~seq_nrs ~seed:10L in
+  Array.iteri (fun i sn -> Brb.Sb_cons.sb_cast sbs.(0) ~sn (Printf.sprintf "m%d" i)) seq_nrs;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 60) engine;
+  Array.iteri
+    (fun node ds ->
+      (* SB3 Termination: a delivery for every sequence number. *)
+      check_int (Printf.sprintf "node %d delivers all" node) 3 (List.length ds);
+      List.iter
+        (fun (sn, v) ->
+          (* SB1 Integrity + SB4 progress: sender correct and unsuspected,
+             so all values are the sb-cast ones (no ⊥). *)
+          match v with
+          | Some m ->
+              let idx = match sn with 0 -> 0 | 3 -> 1 | 6 -> 2 | _ -> -1 in
+              Alcotest.(check string) "right payload" (Printf.sprintf "m%d" idx) m
+          | None -> Alcotest.failf "unexpected ⊥ at sn %d" sn)
+        ds)
+    deliveries;
+  (* SB2 Agreement across nodes. *)
+  let norm ds = List.sort compare ds in
+  let d0 = norm deliveries.(0) in
+  Array.iter (fun ds -> check_bool "agreement" true (norm ds = d0)) deliveries
+
+let test_sb_quiet_sender_terminates_with_bot () =
+  let seq_nrs = [| 0; 1 |] in
+  let _, deliveries, engine, net = sb_harness ~n:4 ~sender:0 ~seq_nrs ~seed:11L in
+  (* The sender is quiet (crashed from the start, never sb-casts): SB3
+     termination demands ⊥ for every sequence number at every correct
+     node. *)
+  Sim.Network.crash net 0;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 120) engine;
+  for node = 1 to 3 do
+    let ds = deliveries.(node) in
+    check_int (Printf.sprintf "node %d terminates" node) 2 (List.length ds);
+    List.iter
+      (fun (sn, v) ->
+        check_bool (Printf.sprintf "⊥ at sn %d" sn) true (v = None))
+      ds
+  done
+
+let test_sb_partial_cast_agreement () =
+  (* Sender casts one of two messages then crashes: nodes must agree per
+     sequence number (the cast one may deliver; the other ends ⊥). *)
+  let seq_nrs = [| 0; 1 |] in
+  let sbs, deliveries, engine, net = sb_harness ~n:4 ~sender:0 ~seq_nrs ~seed:12L in
+  Brb.Sb_cons.sb_cast sbs.(0) ~sn:0 "early";
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time_ns.ms 600) (fun () -> Sim.Network.crash net 0));
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 120) engine;
+  for node = 1 to 3 do
+    check_int (Printf.sprintf "node %d terminates" node) 2 (List.length deliveries.(node))
+  done;
+  let norm ds = List.sort compare ds in
+  let d1 = norm deliveries.(1) in
+  for node = 2 to 3 do
+    check_bool "agreement" true (norm deliveries.(node) = d1)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "brb-section5"
+    [
+      ( "bracha",
+        [
+          Alcotest.test_case "delivery" `Quick test_brb_delivery;
+          Alcotest.test_case "totality with crash mid-broadcast" `Quick
+            test_brb_totality_with_crashed_sender_mid_broadcast;
+          Alcotest.test_case "quiet sender: silence" `Quick test_brb_quiet_sender_no_delivery;
+          Alcotest.test_case "non-sender rejected" `Quick test_brb_non_sender_cannot_broadcast;
+        ] );
+      ( "failure-detector",
+        [
+          Alcotest.test_case "strong completeness" `Quick test_fd_strong_completeness;
+          Alcotest.test_case "accuracy after transient partition" `Slow
+            test_fd_accuracy_and_restore;
+        ] );
+      ( "consensus",
+        [
+          Alcotest.test_case "unanimous" `Quick test_consensus_unanimous;
+          Alcotest.test_case "crashed coordinator" `Slow test_consensus_crashed_coordinator;
+          Alcotest.test_case "agreement with mixed ⊥" `Slow test_consensus_agreement_mixed_bot;
+        ] );
+      ( "sequenced-broadcast",
+        [
+          Alcotest.test_case "SB1-SB4 happy path" `Slow test_sb_happy_path;
+          Alcotest.test_case "SB3 with quiet sender" `Slow
+            test_sb_quiet_sender_terminates_with_bot;
+          Alcotest.test_case "partial cast agreement" `Slow test_sb_partial_cast_agreement;
+        ] );
+    ]

@@ -1,0 +1,515 @@
+(* Unit and property tests for the ISS core data structures. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let req ~client ~ts = Proto.Request.make ~client ~ts ~submitted_at:0 ()
+
+(* ------------------------------------------------------------------ *)
+(* Bucket queue *)
+
+let test_bq_fifo () =
+  let q = Core.Bucket_queue.create () in
+  for i = 0 to 9 do
+    check_bool "add" true (Core.Bucket_queue.add q ~seq:i (req ~client:1 ~ts:i))
+  done;
+  check_int "length" 10 (Core.Bucket_queue.length q);
+  let batch = Core.Bucket_queue.cut q ~max:4 in
+  Alcotest.(check (list int)) "oldest four" [ 0; 1; 2; 3 ]
+    (Array.to_list (Array.map (fun (r : Proto.Request.t) -> r.id.Proto.Request.ts) batch));
+  check_int "remaining" 6 (Core.Bucket_queue.length q)
+
+let test_bq_idempotent_add () =
+  let q = Core.Bucket_queue.create () in
+  let r = req ~client:1 ~ts:5 in
+  check_bool "first add" true (Core.Bucket_queue.add q ~seq:0 r);
+  check_bool "duplicate rejected" false (Core.Bucket_queue.add q ~seq:1 r);
+  check_int "held once" 1 (Core.Bucket_queue.length q)
+
+let test_bq_remove () =
+  let q = Core.Bucket_queue.create () in
+  let r1 = req ~client:1 ~ts:1 and r2 = req ~client:1 ~ts:2 in
+  ignore (Core.Bucket_queue.add q ~seq:0 r1);
+  ignore (Core.Bucket_queue.add q ~seq:1 r2);
+  (match Core.Bucket_queue.remove q r1.id with
+  | Some r -> check_int "removed the right one" 1 r.id.Proto.Request.ts
+  | None -> Alcotest.fail "remove failed");
+  check_bool "absent remove" true (Core.Bucket_queue.remove q r1.id = None);
+  check_int "one left" 1 (Core.Bucket_queue.length q);
+  (match Core.Bucket_queue.peek_oldest q with
+  | Some r -> check_int "r2 now oldest" 2 r.id.Proto.Request.ts
+  | None -> Alcotest.fail "peek failed")
+
+let test_bq_resurrect_order () =
+  let q = Core.Bucket_queue.create () in
+  let rs = Array.init 5 (fun i -> req ~client:1 ~ts:i) in
+  Array.iteri (fun i r -> ignore (Core.Bucket_queue.add q ~seq:i r)) rs;
+  (* Cut 0,1,2 as if proposing, then resurrect 1 at its original seq:
+     it must come out before 3 and 4. *)
+  ignore (Core.Bucket_queue.cut q ~max:3);
+  Core.Bucket_queue.resurrect q ~seq:1 rs.(1);
+  let order = Core.Bucket_queue.cut q ~max:10 in
+  Alcotest.(check (list int)) "resurrected keeps reception order" [ 1; 3; 4 ]
+    (Array.to_list (Array.map (fun (r : Proto.Request.t) -> r.id.Proto.Request.ts) order))
+
+(* Model-based property: the queue behaves like a sorted association list. *)
+let prop_bq_model =
+  let open QCheck in
+  (* Operations: add ts, remove ts, cut k. *)
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (6, map (fun ts -> `Add ts) (int_range 0 50));
+          (2, map (fun ts -> `Remove ts) (int_range 0 50));
+          (2, map (fun k -> `Cut k) (int_range 1 5));
+        ])
+  in
+  Test.make ~name:"bucket queue matches reference model" ~count:300
+    (make (Gen.list_size (Gen.int_range 1 60) op_gen))
+    (fun ops ->
+      let q = Core.Bucket_queue.create () in
+      let model = ref [] (* (seq, ts), sorted by seq *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Add ts ->
+              let r = req ~client:7 ~ts in
+              let added = Core.Bucket_queue.add q ~seq:!seq r in
+              let model_has = List.exists (fun (_, t) -> t = ts) !model in
+              if added = model_has then ok := false;
+              if added then model := !model @ [ (!seq, ts) ];
+              incr seq
+          | `Remove ts ->
+              let removed = Core.Bucket_queue.remove q { Proto.Request.client = 7; ts } in
+              let model_has = List.exists (fun (_, t) -> t = ts) !model in
+              if (removed <> None) <> model_has then ok := false;
+              model := List.filter (fun (_, t) -> t <> ts) !model
+          | `Cut k ->
+              let cut = Core.Bucket_queue.cut q ~max:k in
+              let sorted = List.sort compare !model in
+              let expected = List.filteri (fun i _ -> i < k) sorted in
+              let got =
+                Array.to_list
+                  (Array.map (fun (r : Proto.Request.t) -> r.id.Proto.Request.ts) cut)
+              in
+              if got <> List.map snd expected then ok := false;
+              model := List.filteri (fun i _ -> i >= k) sorted)
+        ops;
+      !ok && Core.Bucket_queue.length q = List.length !model)
+
+(* ------------------------------------------------------------------ *)
+(* Bucket assignment *)
+
+let prop_assignment_partition =
+  QCheck.Test.make ~name:"every bucket assigned to exactly one leader" ~count:100
+    QCheck.(triple (int_range 4 40) (int_range 0 50) (int_range 1 10))
+    (fun (n, epoch, leaders_seed) ->
+      let num_buckets = 16 * n in
+      (* A deterministic non-empty leader subset. *)
+      let leaders =
+        Array.of_list
+          (List.filter (fun i -> i mod (1 + (leaders_seed mod 3)) = 0 || i < 1) (List.init n (fun i -> i)))
+      in
+      let owner = Core.Bucket_assignment.assign ~n ~num_buckets ~epoch ~leaders in
+      Array.length owner = num_buckets
+      && Array.for_all (fun l -> Array.exists (fun x -> x = l) leaders) owner)
+
+let test_assignment_rotation_coverage () =
+  (* Over n consecutive epochs, every node receives every bucket at least
+     once via the initial assignment (Lemma 5.4's base). *)
+  let n = 6 in
+  let num_buckets = 16 * n in
+  let seen = Array.make_matrix n num_buckets false in
+  for epoch = 0 to n - 1 do
+    for node = 0 to n - 1 do
+      List.iter
+        (fun b -> seen.(node).(b) <- true)
+        (Core.Bucket_assignment.init_buckets ~n ~num_buckets ~epoch ~node)
+    done
+  done;
+  for node = 0 to n - 1 do
+    for b = 0 to num_buckets - 1 do
+      if not seen.(node).(b) then
+        Alcotest.failf "node %d never initially assigned bucket %d" node b
+    done
+  done
+
+let test_assignment_matches_eq1 () =
+  (* Eq. (1): initBuckets(e,i) = { b | (b+e) ≡ i mod n }. *)
+  let n = 5 and num_buckets = 80 and epoch = 3 in
+  for node = 0 to n - 1 do
+    let bs = Core.Bucket_assignment.init_buckets ~n ~num_buckets ~epoch ~node in
+    List.iter
+      (fun b -> check_int (Printf.sprintf "bucket %d owner" b) node ((b + epoch) mod n))
+      bs
+  done
+
+let test_buckets_of_leader () =
+  let n = 4 and epoch = 1 in
+  let num_buckets = 8 in
+  (* Figure 2's setting: 8 buckets, 2 leaders, 4 nodes, epoch 1. *)
+  let leaders = [| 0; 2 |] in
+  let all =
+    List.concat_map
+      (fun leader ->
+        Core.Bucket_assignment.buckets_of_leader ~n ~num_buckets ~epoch ~leaders ~leader)
+      [ 0; 2 ]
+  in
+  Alcotest.(check (list int)) "all buckets covered exactly once"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare all)
+
+(* ------------------------------------------------------------------ *)
+(* Segments *)
+
+let config4 = Core.Config.pbft_default ~n:4
+
+let test_segments_round_robin () =
+  let leaders = [| 0; 1; 2 |] in
+  let segs = Core.Segment.make_epoch ~config:config4 ~epoch:0 ~start_sn:0 ~leaders in
+  check_int "one segment per leader" 3 (List.length segs);
+  let all_sns =
+    List.concat_map (fun (s : Core.Segment.t) -> Array.to_list s.seq_nrs) segs
+    |> List.sort compare
+  in
+  let epoch_len = Core.Config.epoch_length config4 ~leaders:3 in
+  Alcotest.(check (list int)) "segments partition the epoch"
+    (List.init epoch_len (fun i -> i))
+    all_sns;
+  List.iter
+    (fun (s : Core.Segment.t) ->
+      Array.iteri
+        (fun j sn ->
+          check_int "round robin stride" (s.leader_index + (j * 3)) sn;
+          check_bool "contains_sn" true (Core.Segment.contains_sn s sn);
+          check_int "sn_index" j (Option.get (Core.Segment.sn_index s sn)))
+        s.seq_nrs;
+      check_bool "foreign sn rejected" false
+        (Core.Segment.contains_sn s (s.seq_nrs.(0) + 1)))
+    segs
+
+let test_segments_epoch_length_grows () =
+  let config = Core.Config.hotstuff_default ~n:32 in
+  (* min segment 16 with 32 leaders -> epoch of 512, not 256. *)
+  check_int "epoch grows" 512 (Core.Config.epoch_length config ~leaders:32);
+  check_int "small leader set keeps min" 256 (Core.Config.epoch_length config ~leaders:4)
+
+let prop_segment_buckets_partition =
+  QCheck.Test.make ~name:"segments partition the buckets" ~count:50
+    QCheck.(pair (int_range 4 16) (int_range 0 20))
+    (fun (n, epoch) ->
+      let config = Core.Config.pbft_default ~n in
+      let leaders = Array.init ((n / 2) + 1) (fun i -> i) in
+      let segs = Core.Segment.make_epoch ~config ~epoch ~start_sn:(epoch * 256) ~leaders in
+      let all =
+        List.concat_map (fun (s : Core.Segment.t) -> s.Core.Segment.buckets) segs
+        |> List.sort compare
+      in
+      all = List.init (Core.Config.num_buckets config) (fun b -> b))
+
+(* ------------------------------------------------------------------ *)
+(* Leader policies *)
+
+let mk_policy kind n =
+  Core.Leader_policy.create { (Core.Config.pbft_default ~n) with Core.Config.leader_policy = kind }
+
+let test_policy_simple () =
+  let p = mk_policy Core.Config.Simple 7 in
+  Core.Leader_policy.epoch_finished p ~epoch:0 ~failed:[ (3, 10) ] ();
+  Alcotest.(check (list int)) "all nodes stay" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (Array.to_list (Core.Leader_policy.leaders p ~epoch:1))
+
+let test_policy_blacklist () =
+  let p = mk_policy Core.Config.Blacklist 7 in
+  (* f = 2 for n = 7. *)
+  Core.Leader_policy.epoch_finished p ~epoch:0 ~failed:[ (3, 10) ] ();
+  let l1 = Array.to_list (Core.Leader_policy.leaders p ~epoch:1) in
+  check_bool "node 3 excluded" false (List.mem 3 l1);
+  check_int "six leaders" 6 (List.length l1);
+  (* A second failure: both excluded (still <= f). *)
+  Core.Leader_policy.epoch_finished p ~epoch:1 ~failed:[ (5, 300) ] ();
+  let l2 = Array.to_list (Core.Leader_policy.leaders p ~epoch:2) in
+  check_bool "3 and 5 excluded" true ((not (List.mem 3 l2)) && not (List.mem 5 l2));
+  (* A third failure: only the f=2 most recent stay banned -> 3 returns. *)
+  Core.Leader_policy.epoch_finished p ~epoch:2 ~failed:[ (0, 700) ] ();
+  let l3 = Array.to_list (Core.Leader_policy.leaders p ~epoch:3) in
+  check_bool "only two most recent banned" true (List.mem 3 l3);
+  check_bool "0 banned" false (List.mem 0 l3);
+  check_bool "5 banned" false (List.mem 5 l3);
+  check_int "at least 2f+1 leaders" 5 (List.length l3)
+
+let test_policy_backoff () =
+  let p = mk_policy Core.Config.Backoff 5 in
+  Core.Leader_policy.epoch_finished p ~epoch:0 ~failed:[ (2, 4) ] ();
+  check_bool "banned after failure" true (Core.Leader_policy.is_banned p 2);
+  let l = Array.to_list (Core.Leader_policy.leaders p ~epoch:1) in
+  check_bool "excluded while banned" false (List.mem 2 l);
+  (* Ban decreases linearly with clean epochs (ban period 4, decrease 1). *)
+  let rec run_clean e =
+    if Core.Leader_policy.is_banned p 2 then begin
+      Core.Leader_policy.epoch_finished p ~epoch:e ~failed:[] ();
+      run_clean (e + 1)
+    end
+    else e
+  in
+  let back_at = run_clean 1 in
+  check_bool "eventually re-included" true (back_at <= 6);
+  check_bool "re-included in leaders" true
+    (List.mem 2 (Array.to_list (Core.Leader_policy.leaders p ~epoch:back_at)))
+
+let test_policy_backoff_doubling () =
+  let p = mk_policy Core.Config.Backoff 5 in
+  Core.Leader_policy.epoch_finished p ~epoch:0 ~failed:[ (2, 4) ] ();
+  (* Fail again while banned: the ban doubles (4*2-1 = 7). *)
+  Core.Leader_policy.epoch_finished p ~epoch:1 ~failed:[ (2, 9) ] ();
+  let clean_epochs_needed =
+    let rec go e count =
+      if Core.Leader_policy.is_banned p 2 then begin
+        Core.Leader_policy.epoch_finished p ~epoch:e ~failed:[] ();
+        go (e + 1) (count + 1)
+      end
+      else count
+    in
+    go 2 0
+  in
+  check_bool "doubled ban takes longer than initial" true (clean_epochs_needed >= 6)
+
+let test_policy_straggler_aware () =
+  let p = mk_policy Core.Config.Straggler_aware 7 in
+  let stats ~straggler ~busy =
+    List.init 7 (fun i ->
+        {
+          Core.Leader_policy.ls_leader = i;
+          ls_batches = 8;
+          ls_empty = (if i = straggler then 8 else 0);
+          ls_requests = (if i = straggler then 0 else busy);
+        })
+  in
+  (* Under real load, a leader shipping nothing while others ship plenty is
+     banned. *)
+  Core.Leader_policy.epoch_finished p ~epoch:0 ~failed:[]
+    ~stats:(stats ~straggler:4 ~busy:4096) ();
+  check_bool "straggler banned" true (Core.Leader_policy.is_banned p 4);
+  check_bool "busy leader kept" false (Core.Leader_policy.is_banned p 0);
+  (* At low load (everyone near-idle), nobody is banned — empty batches are
+     normal keep-alives then. *)
+  let p2 = mk_policy Core.Config.Straggler_aware 7 in
+  Core.Leader_policy.epoch_finished p2 ~epoch:0 ~failed:[]
+    ~stats:(stats ~straggler:4 ~busy:10) ();
+  check_bool "no ban at low load" false (Core.Leader_policy.is_banned p2 4);
+  (* ⊥ evidence still counts, like BLACKLIST. *)
+  let p3 = mk_policy Core.Config.Straggler_aware 7 in
+  Core.Leader_policy.epoch_finished p3 ~epoch:0 ~failed:[ (2, 11) ] ();
+  check_bool "crash evidence bans too" true (Core.Leader_policy.is_banned p3 2)
+
+let test_policy_fixed () =
+  let p = mk_policy (Core.Config.Fixed [ 0 ]) 5 in
+  Core.Leader_policy.epoch_finished p ~epoch:0 ~failed:[ (0, 3) ] ();
+  Alcotest.(check (list int)) "fixed stays fixed" [ 0 ]
+    (Array.to_list (Core.Leader_policy.leaders p ~epoch:1))
+
+(* ------------------------------------------------------------------ *)
+(* Log *)
+
+let batch_of ts_list =
+  Proto.Batch.make (Array.of_list (List.map (fun (c, ts) -> req ~client:c ~ts) ts_list))
+
+let test_log_delivery_order_eq2 () =
+  let log = Core.Log.create () in
+  let deliveries = ref [] in
+  let drain () =
+    ignore
+      (Core.Log.deliver_ready log ~on_batch:(fun ~sn ~first_request_sn batch ->
+           deliveries := (sn, first_request_sn, Proto.Batch.length batch) :: !deliveries))
+  in
+  (* Commit out of order: 1 then 0 then 2. *)
+  check_bool "commit 1" true (Core.Log.commit log ~sn:1 (Proto.Proposal.Batch (batch_of [ (1, 0); (1, 1) ])));
+  drain ();
+  check_int "nothing deliverable yet" 0 (List.length !deliveries);
+  check_bool "commit 0" true (Core.Log.commit log ~sn:0 (Proto.Proposal.Batch (batch_of [ (2, 0) ])));
+  drain ();
+  check_bool "commit 2 nil" true (Core.Log.commit log ~sn:2 Proto.Proposal.Nil);
+  check_bool "commit 3" true (Core.Log.commit log ~sn:3 (Proto.Proposal.Batch (batch_of [ (3, 0) ])));
+  drain ();
+  (* Eq 2: request sns are 0; then 1,2; nil contributes none; then 3. *)
+  Alcotest.(check (list (triple int int int)))
+    "delivery order and request sns"
+    [ (0, 0, 1); (1, 1, 2); (3, 3, 1) ]
+    (List.rev !deliveries);
+  check_int "first undelivered" 4 (Core.Log.first_undelivered log);
+  check_int "total delivered" 4 (Core.Log.total_delivered log)
+
+let test_log_conflict_detection () =
+  let log = Core.Log.create () in
+  ignore (Core.Log.commit log ~sn:0 (Proto.Proposal.Batch (batch_of [ (1, 0) ])));
+  check_bool "same value re-commit is no-op" false
+    (Core.Log.commit log ~sn:0 (Proto.Proposal.Batch (batch_of [ (1, 0) ])));
+  Alcotest.check_raises "conflicting commit raises"
+    (Invalid_argument "Log.commit: conflicting proposals at sn 0 (SB agreement violation)")
+    (fun () -> ignore (Core.Log.commit log ~sn:0 (Proto.Proposal.Batch (batch_of [ (9, 9) ]))))
+
+let test_log_ranges () =
+  let log = Core.Log.create () in
+  ignore (Core.Log.commit log ~sn:0 (Proto.Proposal.Batch (batch_of [ (1, 0) ])));
+  ignore (Core.Log.commit log ~sn:1 Proto.Proposal.Nil);
+  ignore (Core.Log.commit log ~sn:2 (Proto.Proposal.Batch (batch_of [ (1, 1) ])));
+  check_bool "range complete" true (Core.Log.range_complete log ~from_sn:0 ~to_sn:2);
+  check_bool "range with gap" false (Core.Log.range_complete log ~from_sn:0 ~to_sn:3);
+  Alcotest.(check (list int)) "nil entries" [ 1 ] (Core.Log.nil_entries log ~from_sn:0 ~to_sn:2);
+  check_int "digest array" 3 (Array.length (Core.Log.batch_digests log ~from_sn:0 ~to_sn:2))
+
+(* ------------------------------------------------------------------ *)
+(* Watermarks *)
+
+let test_watermarks_window () =
+  let w = Core.Watermarks.create ~window:4 in
+  let id ts = { Proto.Request.client = 9; ts } in
+  check_bool "ts 0 valid" true (Core.Watermarks.valid w (id 0));
+  check_bool "ts 3 valid" true (Core.Watermarks.valid w (id 3));
+  check_bool "ts 4 too far" false (Core.Watermarks.valid w (id 4));
+  Core.Watermarks.note_delivered w (id 0);
+  check_int "floor advanced" 1 (Core.Watermarks.floor w 9);
+  check_bool "ts 4 now valid" true (Core.Watermarks.valid w (id 4));
+  check_bool "ts 0 now below window" false (Core.Watermarks.valid w (id 0))
+
+let test_watermarks_out_of_order () =
+  let w = Core.Watermarks.create ~window:8 in
+  let id ts = { Proto.Request.client = 3; ts } in
+  Core.Watermarks.note_delivered w (id 2);
+  Core.Watermarks.note_delivered w (id 1);
+  check_int "floor waits for 0" 0 (Core.Watermarks.floor w 3);
+  check_bool "delivered 2" true (Core.Watermarks.delivered w (id 2));
+  check_bool "not delivered 0" false (Core.Watermarks.delivered w (id 0));
+  Core.Watermarks.note_delivered w (id 0);
+  check_int "floor jumps over prefix" 3 (Core.Watermarks.floor w 3);
+  check_bool "0 delivered below floor" true (Core.Watermarks.delivered w (id 0))
+
+let prop_watermarks_permutation =
+  QCheck.Test.make ~name:"floor reaches n after any delivery permutation" ~count:100
+    QCheck.(int_range 1 30)
+    (fun n ->
+      let w = Core.Watermarks.create ~window:64 in
+      let order = Array.init n (fun i -> i) in
+      let rng = Sim.Rng.create ~seed:(Int64.of_int n) in
+      Sim.Rng.shuffle rng order;
+      Array.iter
+        (fun ts -> Core.Watermarks.note_delivered w { Proto.Request.client = 1; ts })
+        order;
+      Core.Watermarks.floor w 1 = n)
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_validation () =
+  let ok c = match Core.Config.validate c with Ok () -> true | Error _ -> false in
+  check_bool "pbft default valid" true (ok (Core.Config.pbft_default ~n:4));
+  check_bool "hotstuff default valid" true (ok (Core.Config.hotstuff_default ~n:16));
+  check_bool "raft default valid" true (ok (Core.Config.raft_default ~n:3));
+  check_bool "n=0 invalid" false (ok (Core.Config.pbft_default ~n:4 |> fun c -> { c with Core.Config.n = 0 }));
+  check_bool "empty fixed invalid" false
+    (ok { (Core.Config.pbft_default ~n:4) with Core.Config.leader_policy = Core.Config.Fixed [] });
+  check_bool "out of range fixed invalid" false
+    (ok { (Core.Config.pbft_default ~n:4) with Core.Config.leader_policy = Core.Config.Fixed [ 9 ] });
+  check_bool "negative batch invalid" false
+    (ok { (Core.Config.pbft_default ~n:4) with Core.Config.max_batch_size = 0 })
+
+let test_config_quorums () =
+  let c = Core.Config.pbft_default ~n:10 in
+  check_int "f" 3 (Core.Config.max_faulty c);
+  check_int "strong quorum" 7 (Core.Config.strong_quorum c);
+  check_int "buckets" 160 (Core.Config.num_buckets c)
+
+(* ------------------------------------------------------------------ *)
+(* Request / bucket mapping *)
+
+let prop_bucket_mapping_in_range =
+  QCheck.Test.make ~name:"bucket mapping stays in range" ~count:200
+    QCheck.(triple (int_range 0 10_000) (int_range 0 10_000) (int_range 1 4096))
+    (fun (client, ts, num_buckets) ->
+      let b = Proto.Request.bucket_of_id ~num_buckets { Proto.Request.client; ts } in
+      b >= 0 && b < num_buckets)
+
+let test_bucket_mapping_spread () =
+  (* A single client's consecutive timestamps must spread across buckets
+     (the paper excludes the payload but mixes c and t). *)
+  let num_buckets = 64 in
+  let seen = Hashtbl.create 64 in
+  for ts = 0 to 255 do
+    Hashtbl.replace seen (Proto.Request.bucket_of_id ~num_buckets { Proto.Request.client = 5; ts }) ()
+  done;
+  check_bool "at least half the buckets hit" true (Hashtbl.length seen > 32)
+
+let prop_request_signature =
+  QCheck.Test.make ~name:"signed requests verify; altered ones do not" ~count:100
+    QCheck.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (client, ts) ->
+      let kp = Iss_crypto.Signature.genkey ~id:client in
+      let r = Proto.Request.sign kp (req ~client ~ts) in
+      Proto.Request.signature_valid r
+      && not
+           (Proto.Request.signature_valid
+              { r with Proto.Request.id = { r.Proto.Request.id with Proto.Request.ts = ts + 1 } }))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "bucket-queue",
+        [
+          Alcotest.test_case "fifo cut" `Quick test_bq_fifo;
+          Alcotest.test_case "idempotent add" `Quick test_bq_idempotent_add;
+          Alcotest.test_case "remove" `Quick test_bq_remove;
+          Alcotest.test_case "resurrect order" `Quick test_bq_resurrect_order;
+          qc prop_bq_model;
+        ] );
+      ( "bucket-assignment",
+        [
+          qc prop_assignment_partition;
+          Alcotest.test_case "rotation coverage" `Quick test_assignment_rotation_coverage;
+          Alcotest.test_case "matches Eq (1)" `Quick test_assignment_matches_eq1;
+          Alcotest.test_case "buckets_of_leader" `Quick test_buckets_of_leader;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "round robin" `Quick test_segments_round_robin;
+          Alcotest.test_case "epoch length adapts" `Quick test_segments_epoch_length_grows;
+          qc prop_segment_buckets_partition;
+        ] );
+      ( "leader-policy",
+        [
+          Alcotest.test_case "SIMPLE" `Quick test_policy_simple;
+          Alcotest.test_case "BLACKLIST" `Quick test_policy_blacklist;
+          Alcotest.test_case "BACKOFF re-inclusion" `Quick test_policy_backoff;
+          Alcotest.test_case "BACKOFF doubling" `Quick test_policy_backoff_doubling;
+          Alcotest.test_case "STRAGGLER-AWARE" `Quick test_policy_straggler_aware;
+          Alcotest.test_case "FIXED" `Quick test_policy_fixed;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "delivery order + Eq 2" `Quick test_log_delivery_order_eq2;
+          Alcotest.test_case "conflict detection" `Quick test_log_conflict_detection;
+          Alcotest.test_case "ranges and nils" `Quick test_log_ranges;
+        ] );
+      ( "watermarks",
+        [
+          Alcotest.test_case "window" `Quick test_watermarks_window;
+          Alcotest.test_case "out of order" `Quick test_watermarks_out_of_order;
+          qc prop_watermarks_permutation;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "quorums" `Quick test_config_quorums;
+        ] );
+      ( "requests",
+        [
+          qc prop_bucket_mapping_in_range;
+          Alcotest.test_case "bucket spread" `Quick test_bucket_mapping_spread;
+          qc prop_request_signature;
+        ] );
+    ]

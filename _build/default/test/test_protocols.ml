@@ -1,0 +1,262 @@
+(* Protocol-level tests: drive PBFT / HotStuff / Raft orderer instances
+   directly through a mock Orderer_intf context — no ISS node, no real
+   network — to exercise view changes, QC chains and elections in
+   isolation. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+type world = {
+  engine : Sim.Engine.t;
+  n : int;
+  instances : Core.Orderer_intf.instance option array;
+  announced : (int * (int * Proto.Proposal.t)) list ref;  (* (node, (sn, proposal)) *)
+  crashed : bool array;
+  batch_source : int -> Proto.Proposal.t;  (* per sequence number *)
+}
+
+(* A tiny message bus: ctx.send schedules the peer's on_message after a
+   fixed delay, unless either end is "crashed". *)
+let make_world ~n ~config ~segment ~factory ~batch_source =
+  let engine = Sim.Engine.create () in
+  let w =
+    {
+      engine;
+      n;
+      instances = Array.make n None;
+      announced = ref [];
+      crashed = Array.make n false;
+      batch_source;
+    }
+  in
+  let delay = Sim.Time_ns.ms 20 in
+  let make_ctx me : Core.Orderer_intf.ctx =
+    let send ~dst msg =
+      if (not w.crashed.(me)) && not w.crashed.(dst) then
+        ignore
+          (Sim.Engine.schedule engine ~delay (fun () ->
+               if not w.crashed.(dst) then
+                 match w.instances.(dst) with
+                 | Some inst -> Core.Orderer_intf.on_message inst ~src:me msg
+                 | None -> ()))
+    in
+    {
+      Core.Orderer_intf.node = me;
+      config;
+      engine;
+      send;
+      broadcast =
+        (fun msg ->
+          for dst = 0 to n - 1 do
+            send ~dst msg
+          done);
+      announce = (fun ~sn proposal -> w.announced := (me, (sn, proposal)) :: !(w.announced));
+      request_batch =
+        (fun ~sn callback ->
+          (* Immediate batches: protocol pacing is not under test here. *)
+          ignore
+            (Sim.Engine.schedule engine ~delay:(Sim.Time_ns.ms 1) (fun () ->
+                 if not w.crashed.(me) then callback (batch_source sn))));
+      charge_cpu = (fun _cost k -> k ());
+      keypair = Iss_crypto.Signature.genkey ~id:me;
+      threshold_group = Iss_crypto.Threshold.setup ~n ~t:(Proto.Ids.quorum ~n);
+      report_suspect = (fun _ -> ());
+      validate_proposal = (fun _seg ~sn:_ _proposal -> true);
+    }
+  in
+  for me = 0 to n - 1 do
+    w.instances.(me) <- Some (factory (make_ctx me) segment)
+  done;
+  w
+
+let start_all w =
+  Array.iter (function Some i -> Core.Orderer_intf.start i | None -> ()) w.instances
+
+let announced_at w node =
+  List.rev
+    (List.filter_map (fun (i, x) -> if i = node then Some x else None) !(w.announced))
+
+let batch_for sn =
+  Proto.Proposal.Batch
+    (Proto.Batch.make [| Proto.Request.make ~client:1 ~ts:sn ~submitted_at:0 () |])
+
+let segment4 ~leader =
+  let config = Core.Config.pbft_default ~n:4 in
+  List.nth
+    (Core.Segment.make_epoch ~config ~epoch:0 ~start_sn:0
+       ~leaders:(Array.init 4 (fun i -> i)))
+    leader
+
+(* Shared assertions: every correct node announces every segment sequence
+   number exactly once, and all correct nodes agree per sequence number. *)
+let assert_sb_complete w (seg : Core.Segment.t) ~expect_nil =
+  let expected = Array.to_list seg.Core.Segment.seq_nrs in
+  for node = 0 to w.n - 1 do
+    if not w.crashed.(node) then begin
+      let anns = announced_at w node in
+      let sns = List.sort compare (List.map fst anns) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d announces every sn exactly once" node)
+        (List.sort compare expected) sns;
+      List.iter
+        (fun (sn, p) ->
+          if expect_nil then
+            check_bool
+              (Printf.sprintf "sn %d is ⊥" sn)
+              true (Proto.Proposal.is_nil p))
+        anns
+    end
+  done;
+  (* Agreement across correct nodes. *)
+  let digest_of anns =
+    List.sort compare
+      (List.map (fun (sn, p) -> (sn, Iss_crypto.Hash.to_hex (Proto.Proposal.digest p))) anns)
+  in
+  let reference = ref None in
+  for node = 0 to w.n - 1 do
+    if not w.crashed.(node) then begin
+      let d = digest_of (announced_at w node) in
+      match !reference with
+      | None -> reference := Some d
+      | Some r -> check_bool (Printf.sprintf "node %d agrees" node) true (d = r)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Happy paths for all three protocols *)
+
+let test_happy_path factory () =
+  let config = Core.Config.pbft_default ~n:4 in
+  let seg = segment4 ~leader:0 in
+  let w = make_world ~n:4 ~config ~segment:seg ~factory ~batch_source:batch_for in
+  start_all w;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 30) w.engine;
+  assert_sb_complete w seg ~expect_nil:false
+
+(* ------------------------------------------------------------------ *)
+(* Leader failure: SB termination demands ⊥ for unproposed positions *)
+
+let test_dead_leader factory () =
+  let config = Core.Config.pbft_default ~n:4 in
+  let seg = segment4 ~leader:0 in
+  let w = make_world ~n:4 ~config ~segment:seg ~factory ~batch_source:batch_for in
+  w.crashed.(0) <- true;  (* the segment leader never says anything *)
+  start_all w;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 300) w.engine;
+  (* Exclude node 0 from the checks (it is crashed). *)
+  assert_sb_complete w seg ~expect_nil:true
+
+let test_leader_dies_mid_segment factory () =
+  let config = Core.Config.pbft_default ~n:4 in
+  let seg = segment4 ~leader:0 in
+  let w = make_world ~n:4 ~config ~segment:seg ~factory ~batch_source:batch_for in
+  start_all w;
+  (* Let a few proposals through, then kill the leader. *)
+  ignore
+    (Sim.Engine.schedule w.engine ~delay:(Sim.Time_ns.ms 500) (fun () ->
+         w.crashed.(0) <- true));
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 300) w.engine;
+  (* Correct nodes terminate (mixture of real batches and ⊥) and agree. *)
+  assert_sb_complete w seg ~expect_nil:false
+
+(* ------------------------------------------------------------------ *)
+(* PBFT specifics *)
+
+let test_pbft_commit_quorum_needed () =
+  (* With only 2 of 4 nodes alive, PBFT cannot commit anything. *)
+  let config = Core.Config.pbft_default ~n:4 in
+  let seg = segment4 ~leader:0 in
+  let w =
+    make_world ~n:4 ~config ~segment:seg ~factory:Pbft.Pbft_orderer.factory
+      ~batch_source:batch_for
+  in
+  w.crashed.(2) <- true;
+  w.crashed.(3) <- true;
+  start_all w;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 60) w.engine;
+  check_int "no announcements without a quorum" 0 (List.length (announced_at w 0))
+
+(* ------------------------------------------------------------------ *)
+(* Raft specifics *)
+
+let test_raft_commit_majority () =
+  (* Raft (CFT) tolerates 1 of 4 crashed followers and still commits. *)
+  let config = Core.Config.raft_default ~n:4 in
+  let seg = segment4 ~leader:0 in
+  let w =
+    make_world ~n:4 ~config ~segment:seg ~factory:Raft.Raft_orderer.factory
+      ~batch_source:batch_for
+  in
+  w.crashed.(3) <- true;
+  start_all w;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 60) w.engine;
+  let anns = announced_at w 0 in
+  check_int "leader announces everything with a majority"
+    (Core.Segment.seq_count seg) (List.length anns)
+
+let test_raft_election_after_leader_crash () =
+  let config = Core.Config.raft_default ~n:4 in
+  let seg = segment4 ~leader:0 in
+  let w =
+    make_world ~n:4 ~config ~segment:seg ~factory:Raft.Raft_orderer.factory
+      ~batch_source:batch_for
+  in
+  w.crashed.(0) <- true;
+  start_all w;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 600) w.engine;
+  (* A new leader is elected and fills the segment with ⊥ (design
+     principle 2). *)
+  assert_sb_complete w seg ~expect_nil:true
+
+(* ------------------------------------------------------------------ *)
+(* HotStuff specifics *)
+
+let test_hotstuff_three_chain_flush () =
+  (* The last real sequence number must be decided even though nothing
+     follows it — the three dummy views flush the pipeline (Fig. 4). *)
+  let config = Core.Config.hotstuff_default ~n:4 in
+  let seg = segment4 ~leader:0 in
+  let w =
+    make_world ~n:4 ~config ~segment:seg ~factory:Hotstuff.Hotstuff_orderer.factory
+      ~batch_source:batch_for
+  in
+  start_all w;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 60) w.engine;
+  let anns = announced_at w 1 in
+  let last_sn = seg.Core.Segment.seq_nrs.(Core.Segment.seq_count seg - 1) in
+  check_bool "last sn decided (pipeline flushed)" true (List.mem_assoc last_sn anns)
+
+let () =
+  let factories =
+    [
+      ("pbft", Pbft.Pbft_orderer.factory);
+      ("hotstuff", Hotstuff.Hotstuff_orderer.factory);
+      ("raft", Raft.Raft_orderer.factory);
+    ]
+  in
+  Alcotest.run "protocols"
+    [
+      ( "happy-path",
+        List.map
+          (fun (name, f) -> Alcotest.test_case name `Quick (test_happy_path f))
+          factories );
+      ( "dead-leader",
+        List.map
+          (fun (name, f) -> Alcotest.test_case name `Slow (test_dead_leader f))
+          factories );
+      ( "mid-segment-crash",
+        List.map
+          (fun (name, f) -> Alcotest.test_case name `Slow (test_leader_dies_mid_segment f))
+          factories );
+      ( "pbft",
+        [ Alcotest.test_case "no commit without quorum" `Quick test_pbft_commit_quorum_needed ]
+      );
+      ( "raft",
+        [
+          Alcotest.test_case "commits with majority" `Quick test_raft_commit_majority;
+          Alcotest.test_case "election after leader crash" `Slow
+            test_raft_election_after_leader_crash;
+        ] );
+      ( "hotstuff",
+        [ Alcotest.test_case "three-chain flush" `Quick test_hotstuff_three_chain_flush ] );
+    ]

@@ -1,0 +1,342 @@
+(* Unit and property tests for the simulator substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:99L and b = Sim.Rng.create ~seed:99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.next_int64 a) (Sim.Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create ~seed:99L in
+  let b = Sim.Rng.split a in
+  let x = Sim.Rng.next_int64 a and y = Sim.Rng.next_int64 b in
+  check_bool "split streams differ" true (x <> y)
+
+let test_rng_bounds () =
+  let rng = Sim.Rng.create ~seed:5L in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int rng 17 in
+    check_bool "int in range" true (v >= 0 && v < 17);
+    let f = Sim.Rng.float rng 2.5 in
+    check_bool "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Sim.Rng.create ~seed:6L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.exponential rng ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "exponential mean ~3" true (mean > 2.8 && mean < 3.2)
+
+let test_rng_zipf () =
+  let rng = Sim.Rng.create ~seed:7L in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.zipf rng ~n:10 ~s:1.1 in
+    check_bool "zipf in range" true (v >= 1 && v <= 10);
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool "rank 1 most frequent" true (counts.(1) > counts.(2) && counts.(2) > counts.(5))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:compare in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+let test_heap_peek () =
+  let h = Sim.Heap.create ~cmp:compare in
+  check_bool "empty peek" true (Sim.Heap.peek h = None);
+  Sim.Heap.push h 5;
+  Sim.Heap.push h 2;
+  Sim.Heap.push h 9;
+  check_bool "peek min" true (Sim.Heap.peek h = Some 2);
+  check_int "length" 3 (Sim.Heap.length h)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 20) (fun () -> order := 2 :: !order));
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 10) (fun () -> order := 1 :: !order));
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 30) (fun () -> order := 3 :: !order));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_engine_fifo_same_time () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 10) (fun () -> order := i :: !order))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let id = Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 10) (fun () -> fired := true) in
+  Sim.Engine.cancel e id;
+  Sim.Engine.run e;
+  check_bool "cancelled timer silent" false !fired
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 10) (fun () -> incr fired));
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 50) (fun () -> incr fired));
+  Sim.Engine.run ~until:(Sim.Time_ns.ms 20) e;
+  check_int "only first event" 1 !fired;
+  check_int "clock at limit" (Sim.Time_ns.ms 20) (Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_int "second event after resume" 2 !fired
+
+let test_engine_nested_schedule () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 5) (fun () ->
+         log := `A :: !log;
+         ignore (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 5) (fun () -> log := `B :: !log))));
+  Sim.Engine.run e;
+  check_int "both fired" 2 (List.length !log);
+  check_int "final clock" (Sim.Time_ns.ms 10) (Sim.Engine.now e)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_histogram () =
+  let h = Sim.Metrics.Histogram.create () in
+  for i = 1 to 100 do
+    Sim.Metrics.Histogram.add h (float_of_int i)
+  done;
+  check_int "count" 100 (Sim.Metrics.Histogram.count h);
+  Alcotest.(check (float 0.01)) "mean" 50.5 (Sim.Metrics.Histogram.mean h);
+  Alcotest.(check (float 1.5)) "p50" 50.0 (Sim.Metrics.Histogram.percentile h 50.0);
+  Alcotest.(check (float 1.5)) "p95" 95.0 (Sim.Metrics.Histogram.percentile h 95.0);
+  Alcotest.(check (float 0.01)) "min" 1.0 (Sim.Metrics.Histogram.min h);
+  Alcotest.(check (float 0.01)) "max" 100.0 (Sim.Metrics.Histogram.max h)
+
+let test_series () =
+  let s = Sim.Metrics.Series.create ~bin:(Sim.Time_ns.sec 1) in
+  Sim.Metrics.Series.add s ~at:(Sim.Time_ns.ms 500) 3.0;
+  Sim.Metrics.Series.add s ~at:(Sim.Time_ns.ms 800) 2.0;
+  Sim.Metrics.Series.add s ~at:(Sim.Time_ns.ms 2500) 7.0;
+  let bins = Sim.Metrics.Series.bins s ~until:(Sim.Time_ns.sec 4) in
+  Alcotest.(check (array (float 0.01))) "bins" [| 5.0; 0.0; 7.0; 0.0 |] bins
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_topology_symmetry () =
+  let n = Array.length Sim.Topology.datacenters in
+  check_int "16 datacenters" 16 n;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      check_int
+        (Printf.sprintf "latency %d-%d symmetric" i j)
+        (Sim.Topology.latency i j) (Sim.Topology.latency j i)
+    done
+  done
+
+let test_topology_sane_values () =
+  (* London <-> Frankfurt should be a few ms; Sydney <-> London ~ 100+ ms. *)
+  let name_idx name =
+    let rec go i =
+      if Sim.Topology.datacenters.(i).Sim.Topology.name = name then i else go (i + 1)
+    in
+    go 0
+  in
+  let lon = name_idx "London" and fra = name_idx "Frankfurt" and syd = name_idx "Sydney" in
+  let ms x = Sim.Time_ns.to_ms_f x in
+  check_bool "London-Frankfurt < 10ms" true (ms (Sim.Topology.latency lon fra) < 10.0);
+  check_bool "London-Sydney > 80ms" true (ms (Sim.Topology.latency lon syd) > 80.0);
+  check_bool "intra-dc small" true (ms (Sim.Topology.latency 0 0) < 1.0)
+
+let test_topology_assignment () =
+  let a = Sim.Topology.assign_uniform ~n:4 in
+  check_int "4 nodes, 4 distinct dcs" 4 (List.length (List.sort_uniq compare (Array.to_list a)));
+  let a = Sim.Topology.assign_uniform ~n:32 in
+  check_int "32 nodes round-robin" 32 (Array.length a);
+  Array.iteri (fun i dc -> check_int (Printf.sprintf "node %d" i) (i mod 16) dc) a
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let make_net () =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Rng.create ~seed:1L in
+  let config = { Sim.Network.default_config with jitter = 0 } in
+  let net = Sim.Network.create ~config e ~rng () in
+  (e, net)
+
+let test_network_delivery () =
+  let e, net = make_net () in
+  let got = ref [] in
+  Sim.Network.add_endpoint net ~id:0 ~category:Sim.Network.Node ~datacenter:0
+    ~handler:(fun ~src:_ ~size:_ _ -> ());
+  Sim.Network.add_endpoint net ~id:1 ~category:Sim.Network.Node ~datacenter:15
+    ~handler:(fun ~src ~size msg -> got := (src, size, msg) :: !got);
+  Sim.Network.send net ~src:0 ~dst:1 ~size:1000 "hello";
+  Sim.Engine.run e;
+  (match !got with
+  | [ (0, 1000, "hello") ] -> ()
+  | _ -> Alcotest.fail "expected one delivery");
+  (* Dallas -> Sydney one way is > 50 ms. *)
+  check_bool "propagation delay applied" true (Sim.Engine.now e > Sim.Time_ns.ms 50)
+
+let test_network_bandwidth_serialization () =
+  let e, net = make_net () in
+  let arrivals = ref [] in
+  Sim.Network.add_endpoint net ~id:0 ~category:Sim.Network.Node ~datacenter:0
+    ~handler:(fun ~src:_ ~size:_ _ -> ());
+  Sim.Network.add_endpoint net ~id:1 ~category:Sim.Network.Node ~datacenter:0
+    ~handler:(fun ~src:_ ~size:_ _ -> arrivals := Sim.Engine.now e :: !arrivals);
+  (* 10 x 1.25 MB messages at 1 Gbps = 10 ms serialization each: arrivals
+     must be spaced by ~10 ms because the sender NIC serializes them. *)
+  for _ = 1 to 10 do
+    Sim.Network.send net ~src:0 ~dst:1 ~size:1_250_000 ()
+  done;
+  Sim.Engine.run e;
+  let ts = List.rev !arrivals in
+  check_int "all arrived" 10 (List.length ts);
+  let rec gaps = function a :: (b :: _ as rest) -> (b - a) :: gaps rest | _ -> [] in
+  List.iter
+    (fun gap ->
+      check_bool "NIC spacing ~10ms" true
+        (gap > Sim.Time_ns.ms 9 && gap < Sim.Time_ns.ms 12))
+    (gaps ts)
+
+let test_network_crash_and_partition () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Sim.Network.add_endpoint net ~id:0 ~category:Sim.Network.Node ~datacenter:0
+    ~handler:(fun ~src:_ ~size:_ _ -> ());
+  Sim.Network.add_endpoint net ~id:1 ~category:Sim.Network.Node ~datacenter:1
+    ~handler:(fun ~src:_ ~size:_ _ -> incr got);
+  Sim.Network.crash net 1;
+  Sim.Network.send net ~src:0 ~dst:1 ~size:100 ();
+  Sim.Engine.run e;
+  check_int "crashed endpoint receives nothing" 0 !got;
+  Sim.Network.recover net 1;
+  Sim.Network.set_partition net (Some (fun id -> id));
+  Sim.Network.send net ~src:0 ~dst:1 ~size:100 ();
+  Sim.Engine.run e;
+  check_int "partitioned pair drops" 0 !got;
+  Sim.Network.set_partition net None;
+  Sim.Network.send net ~src:0 ~dst:1 ~size:100 ();
+  Sim.Engine.run e;
+  check_int "healed partition delivers" 1 !got
+
+let test_network_drop_probability () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Sim.Network.add_endpoint net ~id:0 ~category:Sim.Network.Node ~datacenter:0
+    ~handler:(fun ~src:_ ~size:_ _ -> ());
+  Sim.Network.add_endpoint net ~id:1 ~category:Sim.Network.Node ~datacenter:1
+    ~handler:(fun ~src:_ ~size:_ _ -> incr got);
+  Sim.Network.set_drop_probability net 0.5;
+  for _ = 1 to 1000 do
+    Sim.Network.send net ~src:0 ~dst:1 ~size:10 ()
+  done;
+  Sim.Engine.run e;
+  check_bool "about half dropped" true (!got > 350 && !got < 650)
+
+let test_network_charge () =
+  let e, net = make_net () in
+  Sim.Network.add_endpoint net ~id:0 ~category:Sim.Network.Node ~datacenter:0
+    ~handler:(fun ~src:_ ~size:_ _ -> ());
+  (* 1.25 MB at 1 Gbps = 10 ms. *)
+  let d1 = Sim.Network.charge net ~endpoint:0 ~dir:`Tx ~peer:Sim.Network.Node ~bytes:1_250_000 in
+  check_bool "first charge ~10ms" true (d1 > Sim.Time_ns.ms 9 && d1 < Sim.Time_ns.ms 11);
+  let d2 = Sim.Network.charge net ~endpoint:0 ~dir:`Tx ~peer:Sim.Network.Node ~bytes:1_250_000 in
+  check_bool "charges accumulate" true (d2 > Sim.Time_ns.ms 19);
+  (* The client-facing NIC is independent. *)
+  let d3 =
+    Sim.Network.charge net ~endpoint:0 ~dir:`Tx ~peer:Sim.Network.Client ~bytes:1_250_000
+  in
+  check_bool "separate NIC unaffected" true (d3 < Sim.Time_ns.ms 11);
+  ignore e
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_trace_capture () =
+  let e = Sim.Engine.create () in
+  let (), captured =
+    Sim.Trace.with_capture (fun () ->
+        Sim.Trace.set_level Sim.Trace.Info;
+        Sim.Trace.emit e Sim.Trace.Info "hello %d" 42;
+        Sim.Trace.emit e Sim.Trace.Debug "hidden %s" "debug")
+  in
+  check_bool "info captured" true (contains ~needle:"hello 42" captured);
+  check_bool "below-level suppressed" false (contains ~needle:"hidden" captured)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf;
+        ] );
+      ("heap", [ qc prop_heap_sorts; Alcotest.test_case "peek/length" `Quick test_heap_peek ]);
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "FIFO at equal time" `Quick test_engine_fifo_same_time;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "series" `Quick test_series;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "symmetry" `Quick test_topology_symmetry;
+          Alcotest.test_case "sane values" `Quick test_topology_sane_values;
+          Alcotest.test_case "assignment" `Quick test_topology_assignment;
+        ] );
+      ("trace", [ Alcotest.test_case "capture and levels" `Quick test_trace_capture ]);
+      ( "network",
+        [
+          Alcotest.test_case "delivery" `Quick test_network_delivery;
+          Alcotest.test_case "bandwidth serialization" `Quick test_network_bandwidth_serialization;
+          Alcotest.test_case "crash and partition" `Quick test_network_crash_and_partition;
+          Alcotest.test_case "drop probability" `Quick test_network_drop_probability;
+          Alcotest.test_case "charge" `Quick test_network_charge;
+        ] );
+    ]
