@@ -146,18 +146,48 @@ let run_cmd =
       & info [ "relaxed" ]
           ~doc:"Disable strict per-request validation (fast large benchmarks).")
   in
-  let go system n rate duration seed policy faults series relaxed =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            (Printf.sprintf
+               "Named chaos scenario to run under the invariant checker: %s.  \"chaos\" \
+                generates a randomized schedule from --seed.  The run is extended past the \
+                schedule's heal time and fails (exit 1) if any invariant breaks."
+               (String.concat ", " Runner.Faults.scenario_names)))
+  in
+  let go system n rate duration seed policy faults scenario series relaxed =
     let tweak c = { c with Core.Config.strict_validation = not relaxed } in
-    let r =
-      Runner.Experiment.run ?policy ~tweak ~faults ~system ~n ~rate ~duration_s:duration
-        ~seed:(Int64.of_int seed) ()
+    let seed = Int64.of_int seed in
+    let scenario =
+      match scenario with
+      | None -> None
+      | Some "chaos" -> Some (Runner.Faults.random ~seed ~n ~duration_s:duration)
+      | Some name -> (
+          match Runner.Faults.named ~n name with
+          | Ok sc -> Some sc
+          | Error e ->
+              Format.eprintf "%s@." e;
+              exit 2)
     in
-    print_result ~series r
+    Option.iter (fun sc -> Format.printf "%a@." Runner.Faults.pp sc) scenario;
+    match
+      Runner.Experiment.run ?policy ~tweak ~faults ?scenario ~system ~n ~rate
+        ~duration_s:duration ~seed ()
+    with
+    | r ->
+        print_result ~series r;
+        if Option.is_some scenario then Format.printf "invariants: OK@."
+    | exception Runner.Cluster.Invariant_violation report ->
+        Format.eprintf "INVARIANT VIOLATION@.%s@." report;
+        exit 1
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one measurement experiment.")
     Term.(
       const go $ system_arg $ n_arg $ rate_arg $ duration_arg $ seed_arg $ policy_arg
-      $ faults_arg $ series_arg $ relaxed_arg)
+      $ faults_arg $ scenario_arg $ series_arg $ relaxed_arg)
 
 let peak_cmd =
   let go system n duration seed series =

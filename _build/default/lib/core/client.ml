@@ -6,6 +6,7 @@ type reply_quorum = [ `F_plus_one | `One ]
 type pending = {
   request : Proto.Request.t;
   mutable repliers : Proto.Ids.node_id list;  (* distinct nodes that replied *)
+  mutable retx : int;  (* retransmissions sent so far *)
 }
 
 type t = {
@@ -14,6 +15,9 @@ type t = {
   engine : Engine.t;
   send : dst:int -> Proto.Message.t -> unit;
   sign : bool;
+  retransmit : bool;
+  retx_base : Time_ns.span;  (* first retransmission delay; doubles per try *)
+  retx_max : Time_ns.span;  (* exponential-backoff ceiling *)
   keypair : Iss_crypto.Signature.keypair;
   on_complete : Proto.Request.t -> latency:Time_ns.span -> unit;
   mutable next_ts : int;
@@ -26,16 +30,32 @@ type t = {
   rng : Sim.Rng.t;
   mutable open_loop_active : bool;
   mutable completed_count : int;
+  mutable retx_count : int;
 }
 
-let create ~config ~id ~engine ~send ?sign ?(on_complete = fun _ ~latency:_ -> ()) () =
+let create ~config ~id ~engine ~send ?sign ?(retransmit = true) ?retx_base ?retx_max
+    ?(on_complete = fun _ ~latency:_ -> ()) () =
   let sign = match sign with Some s -> s | None -> config.Config.client_signatures in
+  (* Defaults scale with the deployment's failure-detection timeout: a reply
+     can legitimately take a batch timeout plus a WAN round trip, so the
+     first retry waits a sizeable fraction of the epoch-change timeout. *)
+  let retx_base =
+    match retx_base with
+    | Some s -> s
+    | None -> max (Time_ns.sec 1) (config.Config.epoch_change_timeout / 4)
+  in
+  let retx_max =
+    match retx_max with Some s -> s | None -> 2 * config.Config.epoch_change_timeout
+  in
   {
     config;
     id;
     engine;
     send;
     sign;
+    retransmit;
+    retx_base;
+    retx_max;
     keypair = Iss_crypto.Signature.genkey ~id;
     on_complete;
     next_ts = 0;
@@ -48,11 +68,14 @@ let create ~config ~id ~engine ~send ?sign ?(on_complete = fun _ ~latency:_ -> (
     rng = Sim.Rng.create ~seed:(Int64.of_int ((id * 2654435761) + 17));
     open_loop_active = false;
     completed_count = 0;
+    retx_count = 0;
   }
 
 let in_flight t = Hashtbl.length t.pending
 
 let completed t = t.completed_count
+
+let retransmissions t = t.retx_count
 
 let reply_quorum t =
   match t.config.Config.protocol with
@@ -79,7 +102,30 @@ let send_request t (req : Proto.Request.t) =
 
 let window_has_room t = t.next_ts - t.floor < t.config.Config.client_watermark_window
 
-let rec submit_now t =
+(* Retransmission with exponential backoff: while a request lacks its reply
+   quorum, re-send it after [retx_base], then 2x, 4x, ... capped at
+   [retx_max].  The first retries go to the usual leader-detection targets
+   (the request or a reply may simply have been dropped); after that the
+   client stops guessing and blankets all nodes — whatever correct node
+   currently leads the bucket is among them, which restores liveness even
+   when every guessed target crashed.  Nodes deduplicate, so the only cost
+   of a spurious retransmission is bandwidth. *)
+let rec arm_retx t ts ~delay =
+  ignore
+    (Engine.schedule t.engine ~delay (fun () ->
+         match Hashtbl.find_opt t.pending ts with
+         | None -> ()  (* confirmed while the timer was pending *)
+         | Some p ->
+             p.retx <- p.retx + 1;
+             t.retx_count <- t.retx_count + 1;
+             if p.retx >= 3 then
+               for dst = 0 to t.config.Config.n - 1 do
+                 t.send ~dst (Proto.Message.Request_msg p.request)
+               done
+             else send_request t p.request;
+             arm_retx t ts ~delay:(min (2 * delay) t.retx_max)))
+
+let submit_now t =
   let ts = t.next_ts in
   t.next_ts <- ts + 1;
   let req =
@@ -88,10 +134,11 @@ let rec submit_now t =
       ~submitted_at:(Engine.now t.engine) ()
   in
   let req = if t.sign then Proto.Request.sign t.keypair req else req in
-  Hashtbl.replace t.pending ts { request = req; repliers = [] };
-  send_request t req
+  Hashtbl.replace t.pending ts { request = req; repliers = []; retx = 0 };
+  send_request t req;
+  if t.retransmit then arm_retx t ts ~delay:t.retx_base
 
-and drain_backlog t =
+let drain_backlog t =
   while t.backlog > 0 && window_has_room t do
     t.backlog <- t.backlog - 1;
     submit_now t

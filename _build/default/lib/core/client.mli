@@ -6,7 +6,13 @@
     [Bucket_update] messages — plus the two nodes projected (via the initial
     round-robin assignment) to own that bucket in the next two epochs.  At
     every epoch transition it resubmits all requests not yet confirmed by a
-    reply quorum. *)
+    reply quorum.
+
+    Retransmission: while a request lacks its reply quorum the client
+    re-sends it with exponential backoff (base doubling up to a ceiling);
+    after a few unanswered tries it stops guessing bucket leaders and
+    broadcasts to every node.  Nodes suppress duplicates, so retransmission
+    trades bandwidth for liveness under message loss and node crashes. *)
 
 type t
 
@@ -19,11 +25,19 @@ val create :
   engine:Sim.Engine.t ->
   send:(dst:int -> Proto.Message.t -> unit) ->
   ?sign:bool ->
+  ?retransmit:bool ->
+  ?retx_base:Sim.Time_ns.span ->
+  ?retx_max:Sim.Time_ns.span ->
   ?on_complete:(Proto.Request.t -> latency:Sim.Time_ns.span -> unit) ->
   unit ->
   t
 (** [sign] (default from [config.client_signatures]) attaches real simulated
-    signatures.  [on_complete] fires when the reply quorum is reached. *)
+    signatures.  [on_complete] fires when the reply quorum is reached.
+    [retransmit] (default [true]) enables exponential-backoff
+    retransmission of unconfirmed requests; [retx_base] is the first retry
+    delay (default: a quarter of the epoch-change timeout, at least 1 s)
+    and [retx_max] the backoff ceiling (default: twice the epoch-change
+    timeout). *)
 
 val on_message : t -> src:int -> Proto.Message.t -> unit
 
@@ -37,3 +51,6 @@ val start_open_loop : t -> rate:float -> until:Sim.Time_ns.t -> unit
 
 val in_flight : t -> int
 val completed : t -> int
+
+val retransmissions : t -> int
+(** Total retransmissions sent (backoff timer firings). *)

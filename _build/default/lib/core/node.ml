@@ -65,6 +65,7 @@ type t = {
 and hooks = {
   on_batch_deliver : t -> sn:int -> first_request_sn:int -> Proto.Batch.t -> unit;
   on_deliver : (t -> Log.delivery -> unit) option;
+  on_duplicate : (t -> Proto.Request.t -> unit) option;
   on_epoch_start :
     t ->
     epoch:int ->
@@ -78,6 +79,7 @@ let default_hooks =
   {
     on_batch_deliver = (fun _ ~sn:_ ~first_request_sn:_ _ -> ());
     on_deliver = None;
+    on_duplicate = None;
     on_epoch_start = (fun _ ~epoch:_ ~leaders:_ ~bucket_leaders:_ -> ());
     epoch_gate = None;
   }
@@ -147,21 +149,28 @@ let epoch_of_instance t instance = instance / t.config.Config.n
 (* Request intake (§3.7) *)
 
 let request_acceptable t (r : Proto.Request.t) =
-  if not t.config.Config.strict_validation then
-    (* Relaxed mode (large benchmarks): the node still refuses requests it
-       has already committed — resubmitted copies of delivered requests
-       must not re-enter the queues — but skips the watermark-window check,
-       whose back-pressure semantics would require full client
-       retransmission machinery the modeled workload does not have. *)
-    (not (Watermarks.delivered t.watermarks r.id))
-    && ((not t.config.Config.client_signatures) || Proto.Request.signature_valid r)
-  else
-    (not (Watermarks.delivered t.watermarks r.id))
-    && Watermarks.valid t.watermarks r.id
-    && ((not t.config.Config.client_signatures) || Proto.Request.signature_valid r)
+  (* Duplicate suppression for retransmitting clients: refuse copies of
+     requests already committed (watermarks) and copies of requests already
+     accepted into an in-flight proposal this epoch (seen_proposed) — a
+     retransmission re-entering the queues while the original sits in an
+     undecided batch would make this node cut it into a second batch, which
+     honest followers must then reject wholesale. *)
+  (not (Watermarks.delivered t.watermarks r.id))
+  && (not (Hashtbl.mem t.seen_proposed (Proto.Request.id_key r.id)))
+  && ((not t.config.Config.client_signatures) || Proto.Request.signature_valid r)
+  (* Relaxed mode (large benchmarks) skips only the watermark-window
+     back-pressure check; the dedup above stays on in both modes. *)
+  && ((not t.config.Config.strict_validation) || Watermarks.valid t.watermarks r.id)
 
 let rec submit t (r : Proto.Request.t) =
-  if (not t.halted) && request_acceptable t r then begin
+  if t.halted then ()
+  else if Watermarks.delivered t.watermarks r.id then begin
+    (* A retransmission of a request this node already delivered: §4.3 has
+       the replica answer it from its reply cache, or the client could
+       starve when every original reply was lost in transit. *)
+    match t.hooks.on_duplicate with Some f -> f t r | None -> ()
+  end
+  else if request_acceptable t r then begin
     let key = Proto.Request.id_key r.id in
     let bucket = Proto.Request.bucket_of_id ~num_buckets:(Config.num_buckets t.config) r.id in
     let seq =
@@ -847,3 +856,34 @@ let halt t =
   List.iter
     (fun b -> match b.timer with Some timer -> Engine.cancel t.engine timer | None -> ())
     t.my_batchers
+
+let recover t =
+  if t.halted then begin
+    t.halted <- false;
+    let now = Engine.now t.engine in
+    (* The CPU backlog died with the process. *)
+    t.cpu_free <- now;
+    (* Restart batching for the segments this node leads in its current
+       epoch: halt cancelled the timers, and pending cut requests from the
+       orderers are still queued in [b.waiting]. *)
+    List.iter
+      (fun b ->
+        b.last_cut <- now;
+        b.timer <- None;
+        try_cut t b)
+      t.my_batchers;
+    (* Catch up proactively: ask f+1 distinct peers for everything that
+       stabilized while we were down (at least one of them is correct and
+       has it).  Epochs arrive as self-contained (entries, certificate)
+       replies and are committed through the normal state-transfer path,
+       which re-runs the epoch machinery so the node rejoins its segments.
+       The lag check keeps firing until the node draws level. *)
+    let n = t.config.Config.n in
+    let peers = min (n - 1) (Config.max_faulty t.config + 1) in
+    for k = 1 to peers do
+      send t
+        ~dst:((t.id + k) mod n)
+        (Proto.Message.State_request { from_sn = Log.first_undelivered t.log })
+    done;
+    arm_lag_check t
+  end

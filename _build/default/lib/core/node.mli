@@ -24,6 +24,11 @@ type hooks = {
       (** Optional per-request delivery events, derived from the batch hook
           (reply to a client, execute against an application state machine).
           [None] skips the per-request iteration entirely. *)
+  on_duplicate : (t -> Proto.Request.t -> unit) option;
+      (** Fired when a submitted request is refused because this node already
+          delivered it — a client retransmission whose replies were lost.
+          §4.3 replicas answer from their reply cache here; a deployment
+          that sends replies from [on_deliver] should re-send one. *)
   on_epoch_start :
     t -> epoch:int -> leaders:Proto.Ids.node_id array -> bucket_leaders:Proto.Ids.node_id array -> unit;
       (** Fired when the node enters an epoch; [bucket_leaders.(b)] is the
@@ -60,6 +65,15 @@ val submit : t -> Proto.Request.t -> unit
 val halt : t -> unit
 (** Crash the node: it stops reacting to messages and timers.  (The runner
     additionally severs its network endpoint.) *)
+
+val recover : t -> unit
+(** Crash-recovery: un-halt the node and rejoin the cluster.  The node keeps
+    its pre-crash durable state (log, checkpoints, queues — the crash model
+    is fail-recover with stable storage), restarts its batchers, and
+    catches up on everything it missed by requesting state transfer from
+    f+1 peers; the standard lag check then keeps pulling stabilized epochs
+    until it draws level and participates normally again.  No-op when not
+    halted.  (The runner must also {!Sim.Network.recover} its endpoint.) *)
 
 val is_halted : t -> bool
 

@@ -14,8 +14,12 @@ module Orderer = struct
     qcs : (int, Msg.qc) Hashtbl.t;  (* view -> QC *)
     shares : (int * string, (int, Iss_crypto.Threshold.share) Hashtbl.t) Hashtbl.t;
         (* leader: (view, digest) -> voter -> share *)
-    new_views : (int, Msg.qc option) Hashtbl.t;  (* pacemaker: sender -> justify *)
-    decided : (int, unit) Hashtbl.t;  (* sn -> *)
+    new_views : (int, (int, int * Msg.qc option) Hashtbl.t) Hashtbl.t;
+        (* leader-designate: rotation -> sender -> (nv view, justify) *)
+    nv_rotations : (int, int) Hashtbl.t;
+        (* pacemaker sync: sender -> highest rotation it announced *)
+    decided : (int, Proposal.t) Hashtbl.t;  (* sn -> decided value (fill answers) *)
+    fills : (int, (int, Proposal.t) Hashtbl.t) Hashtbl.t;  (* sn -> src -> value *)
     mutable high_qc : Msg.qc option;
     mutable locked_view : int;
     mutable last_voted_view : int;
@@ -26,7 +30,12 @@ module Orderer = struct
     mutable last_proposed : (int * Hash.t) option;  (* (view, digest) awaiting QC *)
     mutable active : bool;
     mutable timer : Engine.timer_id option;
-    mutable nv_wait : int option;  (* the new-view number I'm collecting for *)
+    mutable rec_timer : Engine.timer_id option;  (* slot-recovery NACK timer *)
+    mutable last_announce : Time_ns.t;
+    missing : (string, unit) Hashtbl.t;  (* ancestor digests being fetched *)
+    pending_decide : (string, Msg.chain_node) Hashtbl.t;
+        (* committed tips whose branch walk stalled on a missing ancestor *)
+    mutable sync_timer : Engine.timer_id option;  (* fetch retransmission *)
   }
 
   let genesis_parent t =
@@ -43,7 +52,9 @@ module Orderer = struct
       qcs = Hashtbl.create 64;
       shares = Hashtbl.create 16;
       new_views = Hashtbl.create 8;
+      nv_rotations = Hashtbl.create 8;
       decided = Hashtbl.create 32;
+      fills = Hashtbl.create 4;
       high_qc = None;
       locked_view = -1;
       last_voted_view = -1;
@@ -54,7 +65,11 @@ module Orderer = struct
       last_proposed = None;
       active = false;
       timer = None;
-      nv_wait = None;
+      rec_timer = None;
+      last_announce = Time_ns.zero;
+      missing = Hashtbl.create 4;
+      pending_decide = Hashtbl.create 4;
+      sync_timer = None;
     }
 
   let current_leader t = (t.seg.Core.Segment.leader + t.rotations) mod t.n
@@ -80,16 +95,106 @@ module Orderer = struct
 
   (* ---- Decide pipeline ---------------------------------------------- *)
 
-  (* Announce a chain node and all its undecided ancestors, oldest first. *)
-  let rec decide_branch t (node : Msg.chain_node) =
-    (match Hashtbl.find_opt t.chain (Hash.raw node.Msg.parent) with
-    | Some parent -> decide_branch t parent
-    | None -> ());
-    if node.Msg.sn >= 0 && not (Hashtbl.mem t.decided node.Msg.sn) then begin
-      Hashtbl.replace t.decided node.Msg.sn ();
-      t.ctx.Core.Orderer_intf.announce ~sn:node.Msg.sn node.Msg.proposal;
-      if done_ t then cancel_timer t
+  (* Block sync.  A replica may commit a branch whose ancestors it never
+     received (their proposal messages were dropped).  The same sequence
+     number can legitimately appear twice on a branch — a batch, then a ⊥
+     re-proposal after a rotation — and [decide_branch] relies on walking
+     oldest-first to announce the earlier (committed) occurrence; skipping a
+     missing ancestor would announce the ⊥ duplicate instead and diverge
+     from replicas that hold the full branch.  So a gap suspends the decide
+     and fetches the ancestor by digest from peers, retrying on a timer
+     until the branch is whole (standard chained-HotStuff block sync). *)
+  let rec request_block t digest =
+    if not (Hashtbl.mem t.missing (Hash.raw digest)) then begin
+      Hashtbl.replace t.missing (Hash.raw digest) ();
+      broadcast_hs t (Msg.Fetch { digest })
+    end;
+    arm_sync_timer t
+
+  and arm_sync_timer t =
+    if t.sync_timer = None && t.active && Hashtbl.length t.missing > 0 then begin
+      let delay = t.ctx.Core.Orderer_intf.config.Core.Config.epoch_change_timeout in
+      t.sync_timer <-
+        Some
+          (Engine.schedule t.ctx.Core.Orderer_intf.engine ~delay (fun () ->
+               t.sync_timer <- None;
+               if t.active then begin
+                 Hashtbl.iter
+                   (fun raw () -> broadcast_hs t (Msg.Fetch { digest = Hash.of_raw raw }))
+                   t.missing;
+                 arm_sync_timer t
+               end))
     end
+
+  let cancel_sync_timer t =
+    match t.sync_timer with
+    | Some timer ->
+        Engine.cancel t.ctx.Core.Orderer_intf.engine timer;
+        t.sync_timer <- None
+    | None -> ()
+
+  let cancel_rec_timer t =
+    match t.rec_timer with
+    | Some timer ->
+        Engine.cancel t.ctx.Core.Orderer_intf.engine timer;
+        t.rec_timer <- None
+    | None -> ()
+
+  (* Slot recovery (the PBFT orderer's NACK, ported).  Replicas whose
+     instance is already done ignore the pacemaker, so when fewer than a
+     quorum of replicas are stuck no rotation can ever assemble — and with
+     fewer than 2f+1 finishers no stable checkpoint (hence no state
+     transfer) forms either.  A replica making no progress for a whole
+     epoch-change timeout asks everyone for the slots it has not decided;
+     f+1 matching answers are adopted (at least one is from a correct
+     replica, and correct replicas only report committed values). *)
+  let rec arm_rec_timer t =
+    cancel_rec_timer t;
+    if t.active && not (done_ t) then begin
+      let period = t.ctx.Core.Orderer_intf.config.Core.Config.epoch_change_timeout in
+      t.rec_timer <-
+        Some
+          (Engine.schedule t.ctx.Core.Orderer_intf.engine ~delay:period (fun () ->
+               t.rec_timer <- None;
+               let now = Engine.now t.ctx.Core.Orderer_intf.engine in
+               if t.active && (not (done_ t)) && now - t.last_announce >= period then begin
+                 let missing =
+                   Array.to_list t.seg.Core.Segment.seq_nrs
+                   |> List.filter (fun sn -> not (Hashtbl.mem t.decided sn))
+                 in
+                 if missing <> [] then broadcast_hs t (Msg.Fill_request { sns = missing })
+               end;
+               arm_rec_timer t))
+    end
+
+  (* Announce a chain node and all its undecided ancestors, oldest first.
+     Returns [false] — and starts fetching — when an ancestor is missing;
+     nothing on the branch is announced until it is whole. *)
+  let rec decide_branch t (node : Msg.chain_node) =
+    let ancestors_ok =
+      Hash.equal node.Msg.parent (genesis_parent t)
+      ||
+      match Hashtbl.find_opt t.chain (Hash.raw node.Msg.parent) with
+      | Some parent -> decide_branch t parent
+      | None ->
+          request_block t node.Msg.parent;
+          false
+    in
+    if ancestors_ok && node.Msg.sn >= 0 && not (Hashtbl.mem t.decided node.Msg.sn) then begin
+      Hashtbl.replace t.decided node.Msg.sn node.Msg.proposal;
+      t.last_announce <- Engine.now t.ctx.Core.Orderer_intf.engine;
+      t.ctx.Core.Orderer_intf.announce ~sn:node.Msg.sn node.Msg.proposal;
+      if done_ t then begin
+        cancel_timer t;
+        cancel_rec_timer t
+      end
+    end;
+    ancestors_ok
+
+  let decide_or_suspend t (node : Msg.chain_node) =
+    if decide_branch t node then
+      Hashtbl.remove t.pending_decide (Hash.raw (Msg.node_digest node))
+    else Hashtbl.replace t.pending_decide (Hash.raw (Msg.node_digest node)) node
 
   (* Three-chain commit rule over consecutive views (paper Fig. 4). *)
   let try_decide t (qc : Msg.qc) =
@@ -100,7 +205,7 @@ module Orderer = struct
         | Some n1 when n1.Msg.view = n2.Msg.view - 1 && Hashtbl.mem t.qcs n1.Msg.view -> (
             match Hashtbl.find_opt t.chain (Hash.raw n1.Msg.parent) with
             | Some n0 when n0.Msg.view = n1.Msg.view - 1 && Hashtbl.mem t.qcs n0.Msg.view ->
-                decide_branch t n0
+                decide_or_suspend t n0
             | Some _ | None -> ())
         | Some _ | None -> ())
 
@@ -202,7 +307,16 @@ module Orderer = struct
       let justify_ok =
         match node.Msg.justify with
         | None ->
-            node.Msg.view = 0 && Hash.equal node.Msg.parent (genesis_parent t)
+            (* Genesis acts as an implicit QC at view -1: a justify-free
+               proposal is valid at ANY view while this replica holds no
+               lock, not just view 0.  A rotated leader must be able to
+               restart from genesis when no QC ever formed (first proposal
+               or its votes lost) — with the view-0-only rule every
+               post-rotation proposal of such a segment is rejected forever.
+               Safe: a committed value implies 2f+1 replicas locked >= 0,
+               and any QC for a genesis restart would need 2f+1 votes, which
+               intersect them in a correct replica that refuses this arm. *)
+            Hash.equal node.Msg.parent (genesis_parent t) && t.locked_view < 0
         | Some qc ->
             qc.Msg.qc_view < node.Msg.view
             && Hash.equal node.Msg.parent qc.Msg.qc_digest
@@ -265,47 +379,91 @@ module Orderer = struct
       t.ctx.Core.Orderer_intf.report_suspect (current_leader t);
       t.rotations <- t.rotations + 1;
       t.i_am_leader <- false;
-      t.nv_wait <- None;
-      Hashtbl.reset t.new_views;
-      let nv_view = t.last_voted_view + 1 in
-      send_hs t ~dst:(current_leader t) (Msg.New_view { view = nv_view; justify = t.high_qc });
+      broadcast_new_view t;
       arm_timer t
     end
 
-  let rec handle_new_view t ~src ~view ~justify =
-    if t.active && current_leader t = me t && (not t.i_am_leader) && not (done_ t) then begin
+  (* Broadcast (not just to the leader-designate): every replica tracks the
+     rotations its peers announce, which is what lets loss-diverged
+     rotation counters re-converge (see fast_forward below). *)
+  and broadcast_new_view t =
+    broadcast_hs t
+      (Msg.New_view
+         { view = t.last_voted_view + 1; rotation = t.rotations; justify = t.high_qc })
+
+  let leader_of_rotation t rotation = (t.seg.Core.Segment.leader + rotation) mod t.n
+
+  let rec become_rotated_leader t ~rotation ~views =
+    t.rotations <- rotation;
+    t.i_am_leader <- true;
+    (* Re-propose ⊥ for everything not yet decided, then flush with
+       dummies, starting above every view a quorum member voted in. *)
+    let undecided =
+      Array.to_list t.seg.Core.Segment.seq_nrs
+      |> List.filter (fun sn -> not (Hashtbl.mem t.decided sn))
+    in
+    t.to_propose <- undecided;
+    t.dummies_left <- 3;
+    let start_view =
+      let nv = List.fold_left max 0 views in
+      let hq = match t.high_qc with Some qc -> qc.Msg.qc_view + 1 | None -> 0 in
+      max (max nv hq) (t.last_voted_view + 1)
+    in
+    let parent, justify =
+      match t.high_qc with
+      | Some qc -> (qc.Msg.qc_digest, Some qc)
+      | None -> (genesis_parent t, None)
+    in
+    (* A rotated leader's first proposal may legitimately carry a justify
+       that is not view-1; replicas accept it because the justify is their
+       locked view or higher. *)
+    propose_next_rotated t ~view:start_view ~parent ~justify
+
+  and handle_new_view t ~src ~view ~rotation ~justify =
+    if t.active && not (done_ t) then begin
       (match justify with
       | Some qc when qc_valid t qc -> register_qc t qc
       | Some _ | None -> ());
-      Hashtbl.replace t.new_views src justify;
-      (match t.nv_wait with
-      | Some v when v >= view -> ()
-      | Some _ | None -> t.nv_wait <- Some view);
-      if Hashtbl.length t.new_views >= t.quorum then begin
-        t.i_am_leader <- true;
-        (* Re-propose ⊥ for everything not yet decided, then flush with
-           dummies, starting above every view a quorum member voted in. *)
-        let undecided =
-          Array.to_list t.seg.Core.Segment.seq_nrs
-          |> List.filter (fun sn -> not (Hashtbl.mem t.decided sn))
+      (* Pacemaker sync: when f+1 peers announce a higher rotation than
+         mine, they cannot all be faulty — fast-forward and join them
+         (otherwise counters diverged by uneven message loss may never meet
+         at one leader again). *)
+      (match Hashtbl.find_opt t.nv_rotations src with
+      | Some r when r >= rotation -> ()
+      | Some _ | None -> Hashtbl.replace t.nv_rotations src rotation);
+      let f1 = Proto.Ids.max_faulty ~n:t.n + 1 in
+      let announced =
+        Hashtbl.fold (fun _ r acc -> r :: acc) t.nv_rotations []
+        |> List.sort (fun a b -> compare b a)
+      in
+      (match List.nth_opt announced (f1 - 1) with
+      | Some r_star when r_star > t.rotations ->
+          t.rotations <- r_star;
+          t.i_am_leader <- false;
+          broadcast_new_view t;
+          arm_timer t
+      | Some _ | None -> ());
+      (* Leader-designate of [rotation]: collect a quorum of New_views
+         carrying exactly that rotation, then take over the segment. *)
+      if
+        leader_of_rotation t rotation = me t
+        && rotation >= t.rotations
+        && not (t.i_am_leader && t.rotations = rotation)
+      then begin
+        let tbl =
+          match Hashtbl.find_opt t.new_views rotation with
+          | Some tbl -> tbl
+          | None ->
+              let tbl = Hashtbl.create 8 in
+              Hashtbl.replace t.new_views rotation tbl;
+              tbl
         in
-        t.to_propose <- undecided;
-        t.dummies_left <- 3;
-        let start_view =
-          let nv = match t.nv_wait with Some v -> v | None -> 0 in
-          let hq = match t.high_qc with Some qc -> qc.Msg.qc_view + 1 | None -> 0 in
-          max (max nv hq) (t.last_voted_view + 1)
-        in
-        let parent, justify =
-          match t.high_qc with
-          | Some qc -> (qc.Msg.qc_digest, Some qc)
-          | None -> (genesis_parent t, None)
-        in
-        (* A rotated leader's first proposal may legitimately carry a
-           justify that is not view-1; replicas accept it because the
-           justify is their locked view or higher. *)
-        ignore start_view;
-        propose_next_rotated t ~view:start_view ~parent ~justify
+        Hashtbl.replace tbl src (view, justify);
+        if Hashtbl.length tbl >= t.quorum then begin
+          let views = Hashtbl.fold (fun _ (v, _) acc -> v :: acc) tbl [] in
+          become_rotated_leader t ~rotation ~views;
+          arm_timer t
+        end
       end
     end
 
@@ -334,7 +492,9 @@ module Orderer = struct
 
   let start t =
     t.active <- true;
+    t.last_announce <- Engine.now t.ctx.Core.Orderer_intf.engine;
     arm_timer t;
+    arm_rec_timer t;
     if t.seg.Core.Segment.leader = me t then begin
       t.i_am_leader <- true;
       propose_next t ~view:0 ~parent:(genesis_parent t) ~justify:None
@@ -350,12 +510,67 @@ module Orderer = struct
             (* Progress resets the pacemaker. *)
             if src = current_leader t then arm_timer t
         | Msg.Vote { view; digest; share } -> handle_vote t ~src ~view ~digest share
-        | Msg.New_view { view; justify } -> handle_new_view t ~src ~view ~justify)
+        | Msg.New_view { view; rotation; justify } ->
+            handle_new_view t ~src ~view ~rotation ~justify
+        | Msg.Fetch { digest } -> (
+            match Hashtbl.find_opt t.chain (Hash.raw digest) with
+            | Some node -> send_hs t ~dst:src (Msg.Fetch_resp { node })
+            | None -> ())
+        | Msg.Fetch_resp { node } ->
+            (* Self-certifying: key the node under its recomputed digest and
+               only accept it if we actually asked for that digest. *)
+            let raw = Hash.raw (Msg.node_digest node) in
+            if Hashtbl.mem t.missing raw then begin
+              Hashtbl.remove t.missing raw;
+              Hashtbl.replace t.chain raw node;
+              if Hashtbl.length t.missing = 0 then cancel_sync_timer t;
+              (* Retry every suspended decide; branches still gapped re-add
+                 themselves (and re-fetch the next missing ancestor). *)
+              let tips = Hashtbl.fold (fun _ n acc -> n :: acc) t.pending_decide [] in
+              List.iter (fun n -> decide_or_suspend t n) tips
+            end
+        | Msg.Fill_request { sns } ->
+            List.iter
+              (fun sn ->
+                match Hashtbl.find_opt t.decided sn with
+                | Some proposal -> send_hs t ~dst:src (Msg.Fill { sn; proposal })
+                | None -> ())
+              sns
+        | Msg.Fill { sn; proposal } ->
+            if Core.Segment.contains_sn t.seg sn && not (Hashtbl.mem t.decided sn) then begin
+              let tbl =
+                match Hashtbl.find_opt t.fills sn with
+                | Some tbl -> tbl
+                | None ->
+                    let tbl = Hashtbl.create 4 in
+                    Hashtbl.replace t.fills sn tbl;
+                    tbl
+              in
+              Hashtbl.replace tbl src proposal;
+              let digest = Proposal.digest proposal in
+              let matching =
+                Hashtbl.fold
+                  (fun _ p acc -> if Hash.equal (Proposal.digest p) digest then acc + 1 else acc)
+                  tbl 0
+              in
+              if matching >= Proto.Ids.max_faulty ~n:t.n + 1 then begin
+                Hashtbl.replace t.decided sn proposal;
+                t.last_announce <- Engine.now t.ctx.Core.Orderer_intf.engine;
+                t.ctx.Core.Orderer_intf.announce ~sn proposal;
+                if done_ t then begin
+                  cancel_timer t;
+                  cancel_rec_timer t;
+                  cancel_sync_timer t
+                end
+              end
+            end)
     | _ -> ()
 
   let stop t =
     t.active <- false;
-    cancel_timer t
+    cancel_timer t;
+    cancel_rec_timer t;
+    cancel_sync_timer t
 end
 
 let factory ctx seg =

@@ -11,6 +11,7 @@ module Orderer = struct
     commits : (int * int, Iss_crypto.Hash.t) Hashtbl.t;
     mutable prepared : (int * Proposal.t) option;  (* highest view prepared cert *)
     mutable announced : bool;
+    fills : (int, int * Proposal.t) Hashtbl.t;  (* src -> (view, committed value) *)
   }
 
   type t = {
@@ -22,6 +23,8 @@ module Orderer = struct
     mutable view : int;
     mutable active : bool;  (* between start and stop *)
     mutable vc_timer : Engine.timer_id option;
+    mutable rec_timer : Engine.timer_id option;  (* slot-recovery (fill) pacing *)
+    mutable last_announce : Time_ns.t;  (* progress marker for slot recovery *)
     mutable completed : int;  (* announced count *)
     view_changes : (int, (int, Msg.view_change) Hashtbl.t) Hashtbl.t;
         (* new_view -> sender -> vc *)
@@ -42,6 +45,7 @@ module Orderer = struct
             commits = Hashtbl.create 8;
             prepared = None;
             announced = false;
+            fills = Hashtbl.create 1;
           }
         in
         Hashtbl.replace t.slots sn s;
@@ -58,6 +62,8 @@ module Orderer = struct
       view = 0;
       active = false;
       vc_timer = None;
+      rec_timer = None;
+      last_announce = Time_ns.zero;
       completed = 0;
       view_changes = Hashtbl.create 4;
       highest_vc_sent = 0;
@@ -91,18 +97,63 @@ module Orderer = struct
                start_view_change t (t.view + 1)))
     end
 
+  (* Slot recovery (negative acknowledgment).  A view change only repairs a
+     slot when a quorum of replicas still cares about it: once enough peers
+     have committed the whole segment (done_), they stop joining view
+     changes and a stuck minority can never assemble one.  So, orthogonally
+     to view changes, a replica that has seen no announce for a full timeout
+     asks everyone to FILL its missing slots and adopts any value confirmed
+     by f+1 distinct peers.  The period stays constant — re-asking is
+     idempotent — and the timer is progress-gated on [last_announce] so it
+     stays quiet while the segment drains normally. *)
+  and cancel_rec_timer t =
+    match t.rec_timer with
+    | Some timer ->
+        Engine.cancel t.ctx.Core.Orderer_intf.engine timer;
+        t.rec_timer <- None
+    | None -> ()
+
+  and arm_rec_timer t =
+    cancel_rec_timer t;
+    if t.active && not (done_ t) then begin
+      let period = t.ctx.Core.Orderer_intf.config.Core.Config.epoch_change_timeout in
+      t.rec_timer <-
+        Some
+          (Engine.schedule t.ctx.Core.Orderer_intf.engine ~delay:period (fun () ->
+               t.rec_timer <- None;
+               let now = Engine.now t.ctx.Core.Orderer_intf.engine in
+               if t.active && (not (done_ t)) && now - t.last_announce >= period then begin
+                 let missing =
+                   Array.to_list t.seg.Core.Segment.seq_nrs
+                   |> List.filter (fun sn -> not (slot t sn).announced)
+                 in
+                 if missing <> [] then broadcast_pbft t (Msg.Fill_request { sns = missing })
+               end;
+               arm_rec_timer t))
+    end
+
   and start_view_change t new_view =
     if t.active && (not (done_ t)) && new_view > t.highest_vc_sent then begin
       t.highest_vc_sent <- new_view;
       t.ctx.Core.Orderer_intf.report_suspect (primary t t.view);
-      (* Gather prepared certificates for the open sequence numbers. *)
+      (* Gather prepared certificates for the open sequence numbers —
+         including slots already committed here.  Hiding committed slots
+         would let a new primary that never saw their quorum fill them with
+         ⊥ (divergence) or skip them entirely, leaving peers that missed a
+         commit vote wedged; a committed value is prepared by definition, so
+         reporting it is always safe. *)
       let prepared =
         Hashtbl.fold
           (fun sn s acc ->
-            match s.prepared with
-            | Some (view, proposal) when not s.announced ->
-                { Msg.sn; view; proposal } :: acc
-            | Some _ | None -> acc)
+            let cert =
+              match (s.prepared, s.accepted) with
+              | Some (view, proposal), _ -> Some (view, proposal)
+              | None, Some (view, proposal) when s.announced -> Some (view, proposal)
+              | None, _ -> None
+            in
+            match cert with
+            | Some (view, proposal) -> { Msg.sn; view; proposal } :: acc
+            | None -> acc)
           t.slots []
       in
       let vc =
@@ -142,10 +193,32 @@ module Orderer = struct
         if commits >= t.quorum then begin
           s.announced <- true;
           t.completed <- t.completed + 1;
+          t.last_announce <- Engine.now t.ctx.Core.Orderer_intf.engine;
           t.ctx.Core.Orderer_intf.announce ~sn:s.sn proposal;
-          if done_ t then cancel_vc_timer t else arm_vc_timer t
+          if done_ t then begin
+            cancel_vc_timer t;
+            cancel_rec_timer t
+          end
+          else arm_vc_timer t
         end
     | Some _ | None -> ()
+
+  (* Adopt a value learned through slot recovery: f+1 matching FILLs mean at
+     least one correct replica committed it, so announcing is safe. *)
+  let force_commit t s ~view proposal =
+    if not s.announced then begin
+      s.accepted <- Some (view, proposal);
+      s.prepared <- Some (view, proposal);
+      s.announced <- true;
+      t.completed <- t.completed + 1;
+      t.last_announce <- Engine.now t.ctx.Core.Orderer_intf.engine;
+      t.ctx.Core.Orderer_intf.announce ~sn:s.sn proposal;
+      if done_ t then begin
+        cancel_vc_timer t;
+        cancel_rec_timer t
+      end
+      else arm_vc_timer t
+    end
 
   let try_commit t s =
     match s.accepted with
@@ -168,7 +241,26 @@ module Orderer = struct
      NEW-VIEW) and respond with a PREPARE vote. *)
   let accept_preprepare t ~view ~sn proposal =
     let s = slot t sn in
-    if (not s.announced) && Core.Segment.contains_sn t.seg sn then begin
+    if s.announced && Core.Segment.contains_sn t.seg sn then begin
+      (* Already committed here; a later view may re-propose the value for
+         peers that missed the original quorum (e.g. under message loss).
+         Vote PREPARE and COMMIT straight away — a quorum already committed
+         this exact value, so the votes are safe — but never announce
+         twice. *)
+      match s.accepted with
+      | Some (v, committed)
+        when v < view
+             && Iss_crypto.Hash.equal (Proposal.digest committed) (Proposal.digest proposal)
+        ->
+          s.accepted <- Some (view, committed);
+          let digest = Proposal.digest committed in
+          Hashtbl.replace s.prepares (view, t.ctx.Core.Orderer_intf.node) digest;
+          Hashtbl.replace s.commits (view, t.ctx.Core.Orderer_intf.node) digest;
+          broadcast_pbft t (Msg.Prepare { view; sn; digest });
+          broadcast_pbft t (Msg.Commit { view; sn; digest })
+      | Some _ | None -> ()
+    end
+    else if (not s.announced) && Core.Segment.contains_sn t.seg sn then begin
       let fresh =
         match s.accepted with Some (v, _) -> v < view | None -> true
       in
@@ -247,15 +339,31 @@ module Orderer = struct
                     | _ -> Hashtbl.replace best pc.Msg.sn (pc.Msg.view, pc.Msg.proposal))
                   vc.Msg.prepared)
               vcs;
+            (* Re-propose EVERY sequence number, merging the certificates
+               from the view changes with this node's own state — including
+               slots already committed locally.  Peers that committed a slot
+               ignore (but re-vote on) its replay; peers that missed the
+               original quorum need it to make progress. *)
             let preprepares =
               Array.to_list t.seg.Core.Segment.seq_nrs
-              |> List.filter_map (fun sn ->
+              |> List.map (fun sn ->
                      let s = slot t sn in
-                     if s.announced then None
-                     else
-                       match Hashtbl.find_opt best sn with
-                       | Some (_, proposal) -> Some (sn, proposal)
-                       | None -> Some (sn, Proposal.Nil))
+                     let local =
+                       match (s.prepared, s.accepted) with
+                       | (Some _ as p), _ -> p
+                       | None, Some (v, p) when s.announced -> Some (v, p)
+                       | None, _ -> None
+                     in
+                     let cand =
+                       match (Hashtbl.find_opt best sn, local) with
+                       | Some (v1, p1), Some (v2, p2) ->
+                           Some (if v2 > v1 then p2 else p1)
+                       | Some (_, p), None | None, Some (_, p) -> Some p
+                       | None, None -> None
+                     in
+                     match cand with
+                     | Some proposal -> (sn, proposal)
+                     | None -> (sn, Proposal.Nil))
             in
             t.view <- new_view;
             broadcast_pbft t (Msg.New_view { view = new_view; view_changes = vcs; preprepares });
@@ -288,7 +396,9 @@ module Orderer = struct
 
   let start t =
     t.active <- true;
+    t.last_announce <- Engine.now t.ctx.Core.Orderer_intf.engine;
     arm_vc_timer t;
+    arm_rec_timer t;
     if t.seg.Core.Segment.leader = t.ctx.Core.Orderer_intf.node then propose_all t
 
   let on_message t ~src msg =
@@ -314,12 +424,40 @@ module Orderer = struct
             end
         | Msg.View_change vc -> handle_view_change t ~src vc
         | Msg.New_view { view; view_changes; preprepares } ->
-            if src = primary t view then process_new_view t ~view ~view_changes ~preprepares)
+            if src = primary t view then process_new_view t ~view ~view_changes ~preprepares
+        | Msg.Fill_request { sns } ->
+            List.iter
+              (fun sn ->
+                match Hashtbl.find_opt t.slots sn with
+                | Some { announced = true; accepted = Some (view, proposal); _ } ->
+                    t.ctx.Core.Orderer_intf.send ~dst:src
+                      (Proto.Message.Pbft
+                         {
+                           Msg.instance = t.seg.Core.Segment.instance;
+                           body = Msg.Fill { sn; view; proposal };
+                         })
+                | Some _ | None -> ())
+              sns
+        | Msg.Fill { sn; view; proposal } ->
+            let s = slot t sn in
+            if (not s.announced) && Core.Segment.contains_sn t.seg sn then begin
+              Hashtbl.replace s.fills src (view, proposal);
+              let digest = Proposal.digest proposal in
+              let matching =
+                Hashtbl.fold
+                  (fun _ (_, p) acc ->
+                    if Iss_crypto.Hash.equal (Proposal.digest p) digest then acc + 1 else acc)
+                  s.fills 0
+              in
+              if matching >= Proto.Ids.max_faulty ~n:t.n + 1 then
+                force_commit t s ~view proposal
+            end)
     | _ -> ()
 
   let stop t =
     t.active <- false;
-    cancel_vc_timer t
+    cancel_vc_timer t;
+    cancel_rec_timer t
 end
 
 let factory ctx seg =

@@ -1,1 +1,1 @@
-lib/proto/hotstuff_msg.ml: Format Iss_crypto Printf Proposal
+lib/proto/hotstuff_msg.ml: Format Iss_crypto List Printf Proposal

@@ -17,6 +17,8 @@ type body =
       view_changes : view_change list;
       preprepares : (int * Proposal.t) list;
     }
+  | Fill_request of { sns : int list }
+  | Fill of { sn : int; view : int; proposal : Proposal.t }
 
 type t = { instance : int; body : body }
 
@@ -47,6 +49,8 @@ let wire_size t =
       header
       + List.fold_left (fun acc vc -> acc + view_change_size vc) 0 view_changes
       + List.fold_left (fun acc (_, p) -> acc + 8 + Proposal.wire_size p) 0 preprepares
+  | Fill_request { sns } -> header + (8 * List.length sns)
+  | Fill { proposal; _ } -> header + Proposal.wire_size proposal
 
 let pp fmt t =
   let s =
@@ -56,5 +60,7 @@ let pp fmt t =
     | Commit { view; sn; _ } -> Printf.sprintf "commit(v%d,sn%d)" view sn
     | View_change vc -> Printf.sprintf "view-change(v%d)" vc.new_view
     | New_view { view; _ } -> Printf.sprintf "new-view(v%d)" view
+    | Fill_request { sns } -> Printf.sprintf "fill-request(%d sns)" (List.length sns)
+    | Fill { sn; _ } -> Printf.sprintf "fill(sn%d)" sn
   in
   Format.fprintf fmt "pbft[i%d].%s" t.instance s

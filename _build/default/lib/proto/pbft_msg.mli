@@ -31,6 +31,15 @@ type body =
       preprepares : (int * Proposal.t) list;
           (** what the new leader (re-)proposes: prepared values, ⊥ elsewhere *)
     }
+  | Fill_request of { sns : int list }
+      (** Slot recovery (negative acknowledgment): sent by a replica whose
+          instance has stalled with these sequence numbers uncommitted, e.g.
+          because commit votes were lost and too few peers remain unfinished
+          to drive a view change. *)
+  | Fill of { sn : int; view : int; proposal : Proposal.t }
+      (** Answer to {!Fill_request}: the value the sender committed at [sn].
+          The asker adopts it once f+1 distinct peers report the same value
+          (at least one of them is correct, so the value really committed). *)
 
 type t = { instance : int; body : body }
 

@@ -1,1 +1,1 @@
-lib/raft/raft_orderer.ml: Array Core Hashtbl Int64 List Proto Sim
+lib/raft/raft_orderer.ml: Array Core Hashtbl Int64 Iss_crypto List Proto Sim

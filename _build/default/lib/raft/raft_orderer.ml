@@ -82,6 +82,21 @@ module Orderer = struct
 
   let done_ t = t.announced_upto >= t.len - 1
 
+  (* Last index of the contiguous prefix (and its term).  Elections compare
+     logs by this — not by the highest filled index — because entries beyond
+     a gap are unacknowledged and carry no weight in the up-to-date check. *)
+  let contiguous_last t =
+    let m = ref (-1) in
+    (try
+       for i = 0 to t.len - 1 do
+         if t.entries.(i) = None then raise Exit else m := i
+       done
+     with Exit -> ());
+    let term =
+      if !m >= 0 then match t.entries.(!m) with Some e -> e.Msg.term | None -> 0 else 0
+    in
+    (!m, term)
+
   let announce_ready t =
     while t.announced_upto < t.commit_idx do
       let idx = t.announced_upto + 1 in
@@ -120,16 +135,10 @@ module Orderer = struct
       t.voted_for <- Some (me t);
       Hashtbl.reset t.votes;
       Hashtbl.replace t.votes (me t) ();
-      let last_idx = ref (-1) in
-      Array.iteri (fun i e -> if e <> None then last_idx := i) t.entries;
-      let last_term =
-        if !last_idx >= 0 then
-          match t.entries.(!last_idx) with Some e -> e.Msg.term | None -> 0
-        else 0
-      in
+      let last_idx, last_term = contiguous_last t in
       for dst = 0 to t.n - 1 do
         if dst <> me t then
-          send_raft t ~dst (Msg.Request_vote { term = t.term; last_idx = !last_idx; last_term })
+          send_raft t ~dst (Msg.Request_vote { term = t.term; last_idx; last_term })
       done;
       arm_election t
     end
@@ -186,46 +195,54 @@ module Orderer = struct
     end
 
   and leader_advance_commit t =
-    (* Highest index replicated on a majority whose entry is of the current
-       term (Raft's commit rule). *)
+    (* Raft's commit rule (§5.4.2): an entry commits when it is replicated
+       on a majority AND carries the leader's current term; entries from
+       earlier terms are never committed by counting — they commit
+       implicitly, as the prefix of a current-term commit.  Counting
+       prior-term entries is the classic Figure-8 unsafety: a healed
+       ex-leader's stale entry can sit on a majority and still be
+       overwritten by a later leader. *)
     let counts idx =
       let c = ref 0 in
       for i = 0 to t.n - 1 do
-        if (i = me t && t.match_idx.(i) >= idx) || (i <> me t && t.match_idx.(i) >= idx) then
-          incr c
+        if t.match_idx.(i) >= idx then incr c
       done;
       !c
     in
-    let advanced = ref false in
-    let continue = ref true in
-    while !continue do
-      let idx = t.commit_idx + 1 in
-      if idx < t.len && t.entries.(idx) <> None && counts idx >= t.majority then begin
-        t.commit_idx <- idx;
-        advanced := true
-      end
-      else continue := false
+    let target = ref t.commit_idx in
+    for idx = t.commit_idx + 1 to t.len - 1 do
+      match t.entries.(idx) with
+      | Some e when e.Msg.term = t.term && counts idx >= t.majority -> target := idx
+      | Some _ | None -> ()
     done;
-    if !advanced then announce_ready t
+    if !target > t.commit_idx then begin
+      t.commit_idx <- !target;
+      announce_ready t
+    end
 
   and become_leader t =
     t.role <- Leader;
     t.election_round <- 0;
     cancel_election t;
-    Array.fill t.next_idx 0 t.n 0;
-    (* Conservative: start from each follower's unknown state; acks advance
-       next_idx quickly. *)
-    for i = 0 to t.n - 1 do
-      t.next_idx.(i) <- t.appended;
-      if i <> me t then t.match_idx.(i) <- -1
-    done;
-    (* Design principle 2: fill every empty index with ⊥; never propose
-       client batches as a takeover leader. *)
+    (* Re-stamp the whole segment log with the new term, preserving the
+       values (⊥ in the holes — design principle 2: a takeover leader never
+       proposes client batches).  A fixed-length log has no room for Raft's
+       no-op entry, and the commit rule only counts current-term entries, so
+       without the re-stamp a takeover leader holding a full log could never
+       commit anything again.  Committed values survive: leader election's
+       up-to-date check guarantees this log contains every committed entry,
+       and the re-stamp changes terms only. *)
     for idx = 0 to t.len - 1 do
-      if t.entries.(idx) = None then
-        t.entries.(idx) <- Some { Msg.idx; term = t.term; proposal = Proposal.Nil }
+      let proposal =
+        match t.entries.(idx) with Some e -> e.Msg.proposal | None -> Proposal.Nil
+      in
+      t.entries.(idx) <- Some { Msg.idx; term = t.term; proposal }
     done;
     t.appended <- t.len;
+    for i = 0 to t.n - 1 do
+      t.next_idx.(i) <- t.len;
+      if i <> me t then t.match_idx.(i) <- -1
+    done;
     t.match_idx.(me t) <- t.len - 1;
     replicate_all t;
     arm_heartbeat t
@@ -254,24 +271,40 @@ module Orderer = struct
       if t.role <> Follower && src <> me t then t.role <- Follower;
       t.election_round <- 0;
       arm_election t;
-      (* Consistency check on the previous entry. *)
+      (* Consistency check on the previous entry.  Same index and term imply
+         the same value (one leader per term writes each index exactly
+         once), so a term match anchors the rest of the exchange. *)
       let consistent =
         prev_idx < 0
         ||
         match t.entries.(prev_idx) with
-        | Some e -> e.Msg.term = prev_term || true
-        (* Within one ISS segment, entries never conflict across terms in
-           our model (a takeover leader preserves existing entries), so the
-           term check is informational. *)
+        | Some e -> e.Msg.term = prev_term
         | None -> false
       in
       if consistent then begin
         List.iter
           (fun (e : Msg.entry) ->
-            if e.Msg.idx >= 0 && e.Msg.idx < t.len && t.entries.(e.Msg.idx) = None then
-              t.entries.(e.Msg.idx) <- Some e)
+            if e.Msg.idx >= 0 && e.Msg.idx < t.len then
+              match t.entries.(e.Msg.idx) with
+              | None -> t.entries.(e.Msg.idx) <- Some e
+              | Some old when old.Msg.term <> e.Msg.term ->
+                  (* Conflict: the current leader's entry wins (Raft's log
+                     repair).  An index already delivered can only be
+                     re-stamped, never re-valued — leader completeness
+                     guarantees the values agree, and checking keeps a
+                     divergent entry from silently replacing a delivery. *)
+                  if
+                    e.Msg.idx > t.announced_upto
+                    || Iss_crypto.Hash.equal
+                         (Proposal.digest old.Msg.proposal)
+                         (Proposal.digest e.Msg.proposal)
+                  then t.entries.(e.Msg.idx) <- Some e
+              | Some _ -> ())
           entries;
-        (* Ack the longest contiguous prefix. *)
+        (* Ack only the verified prefix: what the consistency check plus
+           this append actually pinned down.  Acking the raw contiguous
+           prefix would vouch for stale pre-conflict entries beyond the
+           window and let the leader count (and commit) them. *)
         let m = ref (-1) in
         (try
            for i = 0 to t.len - 1 do
@@ -282,11 +315,12 @@ module Orderer = struct
            done;
            m := t.len - 1
          with Exit -> ());
-        if leader_commit > t.commit_idx then begin
-          t.commit_idx <- min leader_commit !m;
+        let ack = min !m (prev_idx + List.length entries) in
+        if min leader_commit ack > t.commit_idx then begin
+          t.commit_idx <- min leader_commit ack;
           announce_ready t
         end;
-        send_raft t ~dst:src (Msg.Append_reply { term = t.term; success = true; match_idx = !m })
+        send_raft t ~dst:src (Msg.Append_reply { term = t.term; success = true; match_idx = ack })
       end
       else
         send_raft t ~dst:src
@@ -302,7 +336,12 @@ module Orderer = struct
           leader_advance_commit t
         end
       end
-      else t.next_idx.(src) <- max 0 match_idx
+      else begin
+        (* Walk back one step and retry immediately — waiting for the next
+           heartbeat would make log repair crawl at the heartbeat period. *)
+        t.next_idx.(src) <- min (max 0 match_idx) (max 0 (t.next_idx.(src) - 1));
+        replicate_to t ~dst:src
+      end
 
   let handle_request_vote t ~src ~term ~last_idx ~last_term =
     if term > t.term then begin

@@ -1,1 +1,1 @@
-lib/runner/cluster.ml: Array Core Hashtbl Hotstuff List Mirbft Pbft Proto Raft Sim
+lib/runner/cluster.ml: Array Buffer Core Float Hashtbl Hotstuff Iss_crypto List Mirbft Pbft Printf Proto Raft Sim

@@ -1,1 +1,1 @@
-lib/runner/experiment.ml: Array Cluster Core Format List Sim Workload
+lib/runner/experiment.ml: Array Cluster Core Faults Float Format List Option Printf Sim Workload

@@ -1,1 +1,1 @@
-lib/runner/experiment.mli: Cluster Core Format
+lib/runner/experiment.mli: Cluster Core Faults Format

@@ -1,0 +1,1 @@
+lib/runner/faults.ml: Array Cluster Core Float Format Hashtbl List Printf Sim String

@@ -1,0 +1,1 @@
+lib/runner/faults.mli: Cluster Core Format Sim

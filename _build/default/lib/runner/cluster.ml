@@ -13,6 +13,20 @@ let system_name = function
 
 type quorum_state = { mutable count : int; mutable reached : bool }
 
+exception Invariant_violation of string
+
+(* Cross-node invariant checking state (chaos harness).  [inv_batches]
+   records the first (digest, first_request_sn, node) delivered at each
+   sequence number; every later delivery at that position must match.
+   [inv_per_node] records every request id a node has delivered, to catch
+   double delivery.  [inv_submitted] holds every workload-submitted request
+   for the end-of-run liveness check. *)
+type invariant_state = {
+  inv_batches : (int, Iss_crypto.Hash.t * int * int) Hashtbl.t;
+  inv_per_node : (int, unit) Hashtbl.t array;
+  inv_submitted : (int, Proto.Request.t) Hashtbl.t;
+}
+
 type t = {
   engine : Engine.t;
   net : Proto.Message.t Sim.Network.t;
@@ -29,6 +43,7 @@ type t = {
   reply_quorum : int;
   mutable track_delivered_ids : bool;
   delivered_ids : (int, unit) Hashtbl.t;  (* request id keys, when tracked *)
+  mutable invariants : invariant_state option;
 }
 
 let engine t = t.engine
@@ -39,7 +54,12 @@ let quorum_latencies t = t.latencies
 let delivered_quorum t = t.delivered_quorum
 let submitted t = t.submitted
 let reply_quorum t = t.reply_quorum
-let note_submitted t _req = t.submitted <- t.submitted + 1
+
+let note_submitted t (req : Proto.Request.t) =
+  t.submitted <- t.submitted + 1;
+  match t.invariants with
+  | Some inv -> Hashtbl.replace inv.inv_submitted (Proto.Request.id_key req.Proto.Request.id) req
+  | None -> ()
 
 let throughput_series t ~until = Sim.Metrics.Series.rate_per_sec t.throughput ~until
 
@@ -98,14 +118,55 @@ let create ?policy ?(tweak = fun c -> c) ~system ~n ~seed () =
       reply_quorum;
       track_delivered_ids = false;
       delivered_ids = Hashtbl.create 4096;
+      invariants = None;
     }
   in
   (* Measurement hook: when the [reply_quorum]-th node's delivery frontier
      passes a batch, every request in it is answered — record latency
      (including the reply's propagation back to the client) and
      throughput. *)
-  let on_batch_deliver node ~sn ~first_request_sn:_ batch =
+  let on_batch_deliver node ~sn ~first_request_sn batch =
     let node_id = Core.Node.id node in
+    (* Invariant checking (chaos harness; off unless enabled).  Violations
+       raise immediately, aborting the simulation with a readable report. *)
+    (match t.invariants with
+    | None -> ()
+    | Some inv ->
+        let digest = Proto.Proposal.digest (Proto.Proposal.Batch batch) in
+        let now_s = Time_ns.to_sec_f (Engine.now t.engine) in
+        (match Hashtbl.find_opt inv.inv_batches sn with
+        | None -> Hashtbl.replace inv.inv_batches sn (digest, first_request_sn, node_id)
+        | Some (d0, frs0, node0) ->
+            if not (Iss_crypto.Hash.equal d0 digest) then
+              raise
+                (Invariant_violation
+                   (Printf.sprintf
+                      "SAFETY violation at t=%.3fs: node %d delivered batch %s at sn %d, but \
+                       node %d had delivered batch %s there — two non-halted nodes disagree \
+                       on the same log position"
+                      now_s node_id (Iss_crypto.Hash.short digest) sn node0
+                      (Iss_crypto.Hash.short d0)));
+            if frs0 <> first_request_sn then
+              raise
+                (Invariant_violation
+                   (Printf.sprintf
+                      "SAFETY violation at t=%.3fs: node %d delivered sn %d with first request \
+                       sequence number %d, but node %d used %d — the delivered prefixes \
+                       diverge earlier in the log"
+                      now_s node_id sn first_request_sn node0 frs0)));
+        let seen = inv.inv_per_node.(node_id) in
+        Proto.Batch.iter
+          (fun (r : Proto.Request.t) ->
+            let key = Proto.Request.id_key r.id in
+            if Hashtbl.mem seen key then
+              raise
+                (Invariant_violation
+                   (Printf.sprintf
+                      "EXACTLY-ONCE violation at t=%.3fs: node %d delivered request \
+                       (client %d, ts %d) a second time at batch sn %d"
+                      now_s node_id r.id.Proto.Request.client r.id.Proto.Request.ts sn));
+            Hashtbl.replace seen key ())
+          batch);
     (* Each delivering node sends one reply per request on its public NIC;
        charge that bandwidth in one aggregate operation. *)
     ignore
@@ -193,10 +254,33 @@ let crash_at t ~node ~at =
          Sim.Network.crash t.net node;
          Core.Node.halt t.nodes.(node)))
 
+let recover_at t ~node ~at =
+  ignore
+    (Engine.schedule_at t.engine ~at (fun () ->
+         Sim.Network.recover t.net node;
+         Core.Node.recover t.nodes.(node)))
+
+(* Estimated spacing between consecutive proposals of one segment when no
+   batch-rate cap applies (HotStuff).  Proposals then pipeline through the
+   ordering protocol, leaving roughly one WAN round trip between successive
+   batches of a segment; we bound that by twice the topology's largest
+   one-way latency, floored by the configured minimum batch timeout.  This
+   estimate only positions the injected epoch-end crash — it is not a
+   correctness parameter, just "late enough in the epoch to hurt". *)
+let uncapped_proposal_interval_estimate (cfg : Core.Config.t) =
+  Float.max
+    (2.0 *. Time_ns.to_sec_f (Sim.Topology.max_latency ()))
+    (Time_ns.to_sec_f cfg.Core.Config.min_batch_timeout)
+
+(* Aim for 80 % through the victim's segment: past the epoch's midpoint
+   (so recovery cannot ride on the same epoch change) but safely before the
+   estimated last proposal, given the interval estimate's slack. *)
+let epoch_end_crash_fraction = 0.8
+
 let crash_epoch_end t ~node =
   (* Crash just before the node's last epoch-0 proposal.  With a fixed
      batch rate, its k-th proposal leaves at ~k * interval; without one
-     (HotStuff), fall back to 80 % of the expected epoch duration. *)
+     (HotStuff), fall back on the pipeline-spacing estimate above. *)
   let cfg = t.config in
   let leaders =
     match cfg.Core.Config.leader_policy with
@@ -212,7 +296,10 @@ let crash_epoch_end t ~node =
     | Some rate ->
         let interval = float_of_int leaders /. rate in
         Time_ns.of_sec_f ((float_of_int seg_len -. 0.5) *. interval)
-    | None -> Time_ns.of_sec_f (0.8 *. float_of_int seg_len *. 0.4)
+    | None ->
+        Time_ns.of_sec_f
+          (epoch_end_crash_fraction *. float_of_int seg_len
+          *. uncapped_proposal_interval_estimate cfg)
   in
   crash_at t ~node ~at
 
@@ -223,3 +310,53 @@ let enable_delivery_tracking t = t.track_delivered_ids <- true
 
 let request_delivered t (r : Proto.Request.t) =
   Hashtbl.mem t.delivered_ids (Proto.Request.id_key r.id)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking *)
+
+let enable_invariants t =
+  enable_delivery_tracking t;
+  if t.invariants = None then
+    t.invariants <-
+      Some
+        {
+          inv_batches = Hashtbl.create 4096;
+          inv_per_node = Array.init t.n (fun _ -> Hashtbl.create 4096);
+          inv_submitted = Hashtbl.create 4096;
+        }
+
+let invariants_enabled t = t.invariants <> None
+
+let check_liveness t =
+  match t.invariants with
+  | None -> invalid_arg "Cluster.check_liveness: call enable_invariants first"
+  | Some inv ->
+      let missing = ref [] in
+      let n_missing = ref 0 in
+      Hashtbl.iter
+        (fun key r ->
+          if not (Hashtbl.mem t.delivered_ids key) then begin
+            incr n_missing;
+            if !n_missing <= 10 then missing := r :: !missing
+          end)
+        inv.inv_submitted;
+      if !n_missing > 0 then begin
+        let b = Buffer.create 256 in
+        Buffer.add_string b
+          (Printf.sprintf
+             "LIVENESS violation at t=%.3fs: %d of %d submitted requests never reached their \
+              reply quorum of %d nodes after all faults healed.  First missing requests:"
+             (Time_ns.to_sec_f (Engine.now t.engine))
+             !n_missing
+             (Hashtbl.length inv.inv_submitted)
+             t.reply_quorum);
+        List.iter
+          (fun (r : Proto.Request.t) ->
+            Buffer.add_string b
+              (Printf.sprintf "\n  client %d ts %d (submitted at t=%.3fs)"
+                 r.id.Proto.Request.client r.id.Proto.Request.ts
+                 (Time_ns.to_sec_f r.Proto.Request.submitted_at)))
+          (List.rev !missing);
+        if !n_missing > 10 then Buffer.add_string b "\n  ...";
+        raise (Invariant_violation (Buffer.contents b))
+      end

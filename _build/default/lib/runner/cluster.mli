@@ -38,6 +38,11 @@ val start : t -> unit
 val crash_at : t -> node:int -> at:Sim.Time_ns.t -> unit
 (** Crash: silence the node's network endpoint and halt its timers. *)
 
+val recover_at : t -> node:int -> at:Sim.Time_ns.t -> unit
+(** Crash-recovery: revive the node's network endpoint and un-halt it; the
+    node keeps its durable pre-crash state and catches up via state
+    transfer (see {!Core.Node.recover}). *)
+
 val crash_epoch_end : t -> node:int -> unit
 (** Schedule a crash just before the node would propose the last sequence
     number of its epoch-0 segment — the paper's worst case for epoch
@@ -45,6 +50,33 @@ val crash_epoch_end : t -> node:int -> unit
 
 val set_stragglers : t -> int list -> unit
 (** Byzantine stragglers (§6.4.2). *)
+
+(** {2 Invariant checking (chaos harness)} *)
+
+exception Invariant_violation of string
+(** Raised — aborting the simulation — with a readable report when a checked
+    invariant breaks. *)
+
+val enable_invariants : t -> unit
+(** Turn on cross-node invariant checking (implies delivery tracking):
+    {ul
+    {- {b safety}: no two non-halted nodes deliver different batches (or the
+       same batch with different request sequence numbers) at the same log
+       position — checked on every delivery;}
+    {- {b exactly-once}: no node delivers the same request twice — checked on
+       every delivery;}
+    {- {b liveness}: every workload-submitted request reaches its reply
+       quorum — checked by {!check_liveness} once the run (faults plus a
+       grace period) has completed.}}
+    Off by default: the bookkeeping holds every submitted request id, which
+    huge fault-free benchmark runs cannot afford. *)
+
+val invariants_enabled : t -> bool
+
+val check_liveness : t -> unit
+(** Raises {!Invariant_violation} listing the first missing requests if any
+    submitted request has not reached its reply quorum.  Call after the
+    engine has run past all faults plus a recovery bound. *)
 
 (** {2 Measurement} *)
 

@@ -22,8 +22,8 @@ type fault =
   | Crash_epoch_end of int
   | Straggler of int
 
-let run ?policy ?tweak ?(faults = []) ?num_clients ?(warmup_s = 5.0) ~system ~n ~rate
-    ~duration_s ~seed () =
+let run ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s = 5.0) ~system ~n
+    ~rate ~duration_s ~seed () =
   let cluster = Cluster.create ?policy ?tweak ~system ~n ~seed () in
   let engine = Cluster.engine cluster in
   let until = Time_ns.of_sec_f duration_s in
@@ -34,12 +34,33 @@ let run ?policy ?tweak ?(faults = []) ?num_clients ?(warmup_s = 5.0) ~system ~n 
       | Crash_epoch_end node -> Cluster.crash_epoch_end cluster ~node
       | Straggler node -> Cluster.set_stragglers cluster [ node ])
     faults;
+  (match scenario with
+  | None -> ()
+  | Some sc ->
+      (match Faults.validate sc ~n with
+      | Ok () -> ()
+      | Error e ->
+          invalid_arg (Printf.sprintf "fault scenario %S: %s" (Faults.name sc) e));
+      Faults.apply sc cluster;
+      Cluster.enable_invariants cluster);
   Cluster.start cluster;
   (* Fault scenarios need the client resubmission mechanism of §4.3. *)
-  let resubmit = faults <> [] in
-  Workload.start ~cluster ~rate ?num_clients ~resubmit ~until ();
-  Sim.Engine.run ~until engine;
-  let series = Cluster.throughput_series cluster ~until in
+  let resubmit = faults <> [] || Option.is_some scenario in
+  (* Chaos runs keep the engine (and the resubmission sweeper) going past
+     the last fault's heal time plus the recovery bound, so the liveness
+     check judges a healed cluster. *)
+  let run_until =
+    match scenario with
+    | None -> until
+    | Some sc ->
+        let cfg = Cluster.config cluster in
+        Time_ns.of_sec_f
+          (Float.max duration_s (Faults.heal_s sc +. Faults.liveness_grace_s cfg))
+  in
+  Workload.start ~cluster ~rate ?num_clients ~resubmit ~sweep_until:run_until ~until ();
+  Sim.Engine.run ~until:run_until engine;
+  (match scenario with None -> () | Some _ -> Cluster.check_liveness cluster);
+  let series = Cluster.throughput_series cluster ~until:run_until in
   let warmup_bins = int_of_float warmup_s in
   let steady =
     if Array.length series > warmup_bins + 1 then

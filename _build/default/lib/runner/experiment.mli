@@ -30,6 +30,7 @@ val run :
   ?policy:Core.Config.leader_policy_kind ->
   ?tweak:(Core.Config.t -> Core.Config.t) ->
   ?faults:fault list ->
+  ?scenario:Faults.t ->
   ?num_clients:int ->
   ?warmup_s:float ->
   system:Cluster.system ->
@@ -42,7 +43,14 @@ val run :
 (** One measurement run: build the cluster, inject faults, offer load at
     [rate] for [duration_s] simulated seconds, report steady-state numbers
     (the first [warmup_s], default 5 s, excluded from throughput/latency
-    aggregation of the summary — the series keeps everything). *)
+    aggregation of the summary — the series keeps everything).
+
+    [scenario] runs a declarative fault schedule under the chaos harness:
+    the schedule is validated and compiled to engine events, cross-node
+    invariant checking is enabled (raising {!Cluster.Invariant_violation}
+    on a safety breach), the run is extended past the schedule's heal time
+    plus {!Faults.liveness_grace_s}, and liveness — every submitted request
+    delivered — is asserted at the end. *)
 
 val peak_throughput :
   ?tweak:(Core.Config.t -> Core.Config.t) ->

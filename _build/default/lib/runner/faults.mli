@@ -1,0 +1,84 @@
+(** Declarative fault schedules (the chaos harness).
+
+    A schedule is a list of fault specs with wall-clock (simulated) activation
+    times; {!apply} compiles it into engine events against a {!Cluster.t}.
+    All faults from the surviving-process model of the paper's §6.4 are
+    expressible: crashes with and without recovery, partitions that heal,
+    windows of probabilistic message loss, Byzantine stragglers, and per-link
+    latency spikes.
+
+    Schedules are plain data: they can be validated ({!validate}), printed
+    ({!pp}), inspected for their heal time ({!heal_s}), generated from a seed
+    ({!random}), or looked up by name ({!named}) — the CLI's [--scenario]
+    flag and the chaos test-suite both go through this module. *)
+
+type spec =
+  | Crash of { node : int; at_s : float }
+      (** Fail-stop at [at_s] (no recovery unless a matching [Recover]
+          follows). *)
+  | Recover of { node : int; at_s : float }
+      (** Revive a crashed node; it rejoins via state transfer. *)
+  | Crash_recover of { node : int; at_s : float; down_s : float }
+      (** Crash at [at_s], recover [down_s] later. *)
+  | Isolate of { node : int; from_s : float; until_s : float }
+      (** Partition one node away from everyone, then heal. *)
+  | Split of { minority : int list; from_s : float; until_s : float }
+      (** Partition the cluster into [minority] vs the rest, then heal.
+          [minority] must be a strict minority so the majority side retains a
+          quorum. *)
+  | Drop of { prob : float; from_s : float; until_s : float }
+      (** Drop every node-to-node message independently with probability
+          [prob] during the window. *)
+  | Straggle of { node : int; from_s : float; until_s : float }
+      (** Byzantine straggler (proposes empty batches) during the window. *)
+  | Slow_link of {
+      a : int;
+      b : int;
+      extra : Sim.Time_ns.span;
+      from_s : float;
+      until_s : float;
+    }
+      (** Add [extra] propagation latency to both directions of one link
+          during the window. *)
+
+type t
+
+val make : name:string -> spec list -> t
+val name : t -> string
+val spec : t -> spec list
+
+val heal_s : t -> float
+(** Time of the last fault event — when every transient fault has healed and
+    every scheduled recovery has happened.  Liveness is judged a grace period
+    after this point. *)
+
+val validate : t -> n:int -> (unit, string) result
+(** Check node ids against the cluster size, window sanity, probability
+    ranges, and that splits leave a majority intact. *)
+
+val apply : t -> Cluster.t -> unit
+(** Compile the schedule to simulator events (call before running the
+    engine).  Overlapping partition windows compose: each isolated node is
+    its own group and an active split adds one more.  Overlapping slow-link
+    windows on distinct links compose likewise. *)
+
+val liveness_grace_s : Core.Config.t -> float
+(** How long after {!heal_s} every submitted request must have reached its
+    reply quorum.  Derived from the epoch-change timeout (which paces
+    state-transfer lag detection and leader banning) plus the rate-capped
+    epoch duration (which paces bucket re-assignment away from dead
+    leaders). *)
+
+val named : n:int -> string -> (t, string) result
+(** Built-in scenarios: ["crash-recover"], ["partition-heal"],
+    ["split-brain"], ["lossy"], ["straggler-window"], ["slow-link"]. *)
+
+val scenario_names : string list
+(** Names accepted by {!named}, plus ["chaos"] (seed-derived {!random}). *)
+
+val random : seed:int64 -> n:int -> duration_s:float -> t
+(** Generate a randomized schedule of sequential, non-overlapping fault
+    windows (at most one fault active at a time, so a connected correct
+    quorum always exists and liveness must hold).  Deterministic in [seed]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -19,8 +19,11 @@ let reference_node (cluster : Cluster.t) =
     nodes;
   !best
 
-let start ~cluster ~rate ?(num_clients = 2048) ?(resubmit = false) ~until () =
+let start ~cluster ~rate ?(num_clients = 2048) ?(resubmit = false) ?sweep_until ~until () =
   assert (rate > 0.0);
+  (* Submission stops at [until]; the resubmission sweeper may need to keep
+     chasing stalled requests through a post-fault grace period. *)
+  let sweep_until = match sweep_until with Some t -> max t until | None -> until in
   let engine = Cluster.engine cluster in
   let net = Cluster.network cluster in
   let config = Cluster.config cluster in
@@ -94,7 +97,7 @@ let start ~cluster ~rate ?(num_clients = 2048) ?(resubmit = false) ~until () =
     end
   in
   let rec sweeper () =
-    if resubmit && Engine.now engine <= until then begin
+    if resubmit && Engine.now engine <= sweep_until then begin
       (match reference_node cluster with
       | Some ref_node ->
           let budget = Queue.length outstanding in

@@ -21,6 +21,7 @@ val start :
   rate:float ->
   ?num_clients:int ->
   ?resubmit:bool ->
+  ?sweep_until:Sim.Time_ns.t ->
   until:Sim.Time_ns.t ->
   unit ->
   unit
@@ -31,4 +32,7 @@ val start :
     [resubmit] (default false) models §4.3's client resubmission: a sweeper
     re-sends every not-yet-delivered request to the {e current} owner of
     its bucket every two seconds.  Required for fault experiments, where a
-    request's original target may have crashed or lost the bucket. *)
+    request's original target may have crashed or lost the bucket.
+    [sweep_until] (default [until]) lets the sweeper outlive the submission
+    window — chaos runs extend it past the last fault's heal time so
+    stragglers submitted just before a crash still get re-driven. *)

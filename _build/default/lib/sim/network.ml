@@ -29,6 +29,7 @@ type 'a t = {
   endpoints : (int, 'a endpoint) Hashtbl.t;
   mutable partition : (int -> int) option;
   mutable drop_prob : float;
+  mutable link_latency : (int -> int -> Time_ns.span) option;
   mutable n_sent : int;
   mutable total_bytes : int;
 }
@@ -41,6 +42,7 @@ let create ?(config = default_config) engine ~rng () =
     endpoints = Hashtbl.create 64;
     partition = None;
     drop_prob = 0.0;
+    link_latency = None;
     n_sent = 0;
     total_bytes = 0;
   }
@@ -81,22 +83,33 @@ let partitioned t src dst =
 
 let send t ~src ~dst ~size payload =
   let se = endpoint t src and de = endpoint t dst in
-  if not (se.crashed || de.crashed || partitioned t src dst) then begin
+  (* Only a crashed *sender* suppresses the send entirely (a dead process
+     emits nothing).  The sender cannot know that the destination is crashed
+     or partitioned away: it still serializes the message through its NIC
+     and the send still counts; only the delivery is suppressed. *)
+  if not se.crashed then begin
     let wire_bytes = size + t.config.per_message_overhead in
     t.n_sent <- t.n_sent + 1;
     t.total_bytes <- t.total_bytes + wire_bytes;
     se.bytes_out <- se.bytes_out + wire_bytes;
-    let dropped = t.drop_prob > 0.0 && Rng.float t.rng 1.0 < t.drop_prob in
-    (* Even a dropped message consumes sender bandwidth. *)
+    (* Lost in transit: severed path or random drop.  (A crashed receiver is
+       handled at arrival time instead — the message may still find the
+       endpoint up again if it recovers while the message is in flight.) *)
+    let lost =
+      partitioned t src dst
+      || (t.drop_prob > 0.0 && Rng.float t.rng 1.0 < t.drop_prob)
+    in
+    (* Even a lost message consumes sender bandwidth. *)
     let now = Engine.now t.engine in
     let tx_nic = nic_index se ~peer_category:de.category in
     let serialize = transmission_time t wire_bytes in
     let depart = Time_ns.add (max now se.tx_free.(tx_nic)) serialize in
     se.tx_free.(tx_nic) <- depart;
-    if not dropped then begin
+    if not lost then begin
       let prop = Topology.latency se.datacenter de.datacenter in
       let jit = if t.config.jitter > 0 then Rng.int t.rng t.config.jitter else 0 in
-      let arrive = Time_ns.add depart (prop + jit) in
+      let spike = match t.link_latency with Some f -> f src dst | None -> 0 in
+      let arrive = Time_ns.add depart (prop + jit + spike) in
       ignore
         (Engine.schedule_at t.engine ~at:arrive (fun () ->
              (* Receiver-side NIC serialization, then delivery.  Re-check
@@ -128,10 +141,27 @@ let charge t ~endpoint:id ~dir ~peer ~bytes =
   Time_ns.diff free_at now
 
 let crash t id = (endpoint t id).crashed <- true
-let recover t id = (endpoint t id).crashed <- false
+
+let recover t id =
+  let ep = endpoint t id in
+  if ep.crashed then begin
+    ep.crashed <- false;
+    (* A rebooted host starts with idle NICs: whatever serialization backlog
+       the endpoint had accumulated before the crash died with it.  Without
+       this reset a node that crashed while its NIC horizon was far in the
+       future would come back up unable to send or receive until the stale
+       horizon passed. *)
+    let now = Engine.now t.engine in
+    for nic = 0 to Array.length ep.tx_free - 1 do
+      ep.tx_free.(nic) <- now;
+      ep.rx_free.(nic) <- now
+    done
+  end
+
 let is_crashed t id = (endpoint t id).crashed
 let set_partition t p = t.partition <- p
 let set_drop_probability t p = t.drop_prob <- p
+let set_link_latency t f = t.link_latency <- f
 let messages_sent t = t.n_sent
 let bytes_sent t = t.total_bytes
 let endpoint_bytes_sent t id = (endpoint t id).bytes_out

@@ -18,9 +18,12 @@
     private one used for node↔node traffic and a public one for
     client↔node traffic — while clients have one.
 
-    Failure injection: endpoints can be crashed (silently dropping their
-    traffic both ways), pairs can be partitioned, and a uniform drop
-    probability can be set. *)
+    Failure injection: endpoints can be crashed and later recovered, pairs
+    can be partitioned, a uniform drop probability can be set, and
+    individual links can be given extra latency.  Failures are modeled from
+    the point of view of the {e surviving} processes: a correct sender has
+    no way to know that its peer is dead or unreachable, so it still pays
+    the full transmission cost — only delivery is suppressed. *)
 
 type 'a t
 (** A network carrying payloads of type ['a]. *)
@@ -50,25 +53,44 @@ val add_endpoint :
 
 val send : 'a t -> src:int -> dst:int -> size:int -> 'a -> unit
 (** [size] is the application payload size in bytes; framing overhead is
-    added internally.  Sending to or from a crashed or partitioned-away
-    endpoint silently drops the message (as a real network would). *)
+    added internally.  A crashed sender emits nothing.  Any other send
+    consumes sender NIC bandwidth and counts towards {!messages_sent} /
+    {!bytes_sent} regardless of the destination's fate: messages to a
+    partitioned-away peer are lost in transit, and messages to a crashed
+    peer are discarded on arrival (unless the peer recovered while the
+    message was in flight). *)
 
 val multicast : 'a t -> src:int -> dsts:int list -> size:int -> 'a -> unit
 (** Point-to-point sends to each destination (no network-level multicast:
     each copy consumes sender bandwidth, exactly the single-leader cost). *)
 
 val crash : 'a t -> int -> unit
-(** Endpoint stops sending and receiving. *)
+(** Crash semantics: the endpoint stops sending (its [send]s are suppressed
+    at zero cost — a dead process emits nothing) and stops receiving
+    (messages addressed to it are discarded at arrival time).  Messages
+    already in flight {e towards} a crashed endpoint are only discarded if
+    the endpoint is still crashed when they arrive. *)
 
 val recover : 'a t -> int -> unit
+(** Clears the crash flag and resets the endpoint's NIC serialization
+    horizons to the current time: a rebooted host starts with idle NICs —
+    the pre-crash transmission backlog does not survive the reboot.
+    Recovering a non-crashed endpoint is a no-op. *)
+
 val is_crashed : 'a t -> int -> bool
 
 val set_partition : 'a t -> (int -> int) option -> unit
 (** [set_partition t (Some group)] drops messages between endpoints whose
-    [group] differs; [None] heals. *)
+    [group] differs; [None] heals.  Cross-partition sends still consume
+    sender bandwidth (the sender cannot observe the partition). *)
 
 val set_drop_probability : 'a t -> float -> unit
 (** Uniform i.i.d. message-drop probability in [\[0,1\]]. *)
+
+val set_link_latency : 'a t -> (int -> int -> Time_ns.span) option -> unit
+(** [set_link_latency t (Some f)] adds [f src dst] of one-way propagation
+    delay to every message from [src] to [dst] — per-link latency spikes
+    for fault experiments.  [None] restores nominal latency. *)
 
 val charge : 'a t -> endpoint:int -> dir:[ `Tx | `Rx ] -> peer:category -> bytes:int -> Time_ns.span
 (** Consume NIC bandwidth without materializing a message: advances the

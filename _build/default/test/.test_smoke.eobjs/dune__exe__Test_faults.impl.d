@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Buffer Core Float Format Hashtbl Iss_crypto List Pbft Printf Proto Runner Sim

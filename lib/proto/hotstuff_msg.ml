@@ -24,7 +24,11 @@ let vote_material ~instance ~view digest =
 type body =
   | Proposal_msg of chain_node
   | Vote of { view : int; digest : Iss_crypto.Hash.t; share : Iss_crypto.Threshold.share }
-  | New_view of { view : int; justify : qc option }
+  | New_view of { view : int; rotation : int; justify : qc option }
+  | Fetch of { digest : Iss_crypto.Hash.t }
+  | Fetch_resp of { node : chain_node }
+  | Fill_request of { sns : int list }
+  | Fill of { sn : int; proposal : Proposal.t }
 
 type t = { instance : int; body : body }
 
@@ -38,13 +42,23 @@ let wire_size t =
       + (match n.justify with Some _ -> qc_size | None -> 0)
   | Vote _ -> header + Iss_crypto.Hash.size + Iss_crypto.Threshold.share_wire_size
   | New_view { justify; _ } ->
-      header + (match justify with Some _ -> qc_size | None -> 0)
+      header + 8 + (match justify with Some _ -> qc_size | None -> 0)
+  | Fetch _ -> header + Iss_crypto.Hash.size
+  | Fetch_resp { node } ->
+      header + Iss_crypto.Hash.size + Proposal.wire_size node.proposal
+      + (match node.justify with Some _ -> qc_size | None -> 0)
+  | Fill_request { sns } -> header + (8 * List.length sns)
+  | Fill { proposal; _ } -> header + Proposal.wire_size proposal
 
 let pp fmt t =
   let s =
     match t.body with
     | Proposal_msg n -> Printf.sprintf "proposal(v%d)" n.view
     | Vote { view; _ } -> Printf.sprintf "vote(v%d)" view
-    | New_view { view; _ } -> Printf.sprintf "new-view(v%d)" view
+    | New_view { view; rotation; _ } -> Printf.sprintf "new-view(v%d,r%d)" view rotation
+    | Fetch { digest } -> Printf.sprintf "fetch(%s)" (Iss_crypto.Hash.short digest)
+    | Fetch_resp { node } -> Printf.sprintf "fetch-resp(v%d,sn%d)" node.view node.sn
+    | Fill_request { sns } -> Printf.sprintf "fill-request(%d sns)" (List.length sns)
+    | Fill { sn; _ } -> Printf.sprintf "fill(sn%d)" sn
   in
   Format.fprintf fmt "hotstuff[i%d].%s" t.instance s

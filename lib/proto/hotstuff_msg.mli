@@ -28,8 +28,34 @@ val vote_material : instance:int -> view:int -> Iss_crypto.Hash.t -> string
 type body =
   | Proposal_msg of chain_node
   | Vote of { view : int; digest : Iss_crypto.Hash.t; share : Iss_crypto.Threshold.share }
-  | New_view of { view : int; justify : qc option }
-      (** pacemaker: sent to the next leader on view timeout *)
+  | New_view of { view : int; rotation : int; justify : qc option }
+      (** Pacemaker: broadcast on view timeout.  [rotation] is the sender's
+          leader-rotation count — the leader-designate of rotation [r]
+          collects a quorum of New_views carrying exactly [r], and any
+          replica that sees f+1 peers announce a higher rotation than its
+          own fast-forwards to it (without the sync, loss-diverged rotation
+          counters can orbit forever with no leader ever assembling a
+          quorum). *)
+  | Fetch of { digest : Iss_crypto.Hash.t }
+      (** Block sync: ask peers for the chain node with this digest.  Sent
+          when a committed branch references an ancestor this replica never
+          received (its proposal was dropped); deciding must wait for the
+          ancestor or the replica would skip its sequence number. *)
+  | Fetch_resp of { node : chain_node }
+      (** Answer to {!Fetch}.  Self-certifying: the receiver recomputes
+          [node_digest] and only accepts the node under that key. *)
+  | Fill_request of { sns : int list }
+      (** Slot recovery (the NACK of the PBFT orderer, ported): a replica
+          making no progress asks peers for the slots it has not decided.
+          Needed because replicas whose instance is [done] ignore New_views
+          — fewer than a quorum of stuck replicas could otherwise never
+          finish, and without 2f+1 finishers no stable checkpoint (hence no
+          state transfer) ever forms. *)
+  | Fill of { sn : int; proposal : Proposal.t }
+      (** Answer to {!Fill_request} for one decided slot.  The requester
+          adopts a value once f+1 peers report the same digest for the slot
+          (at least one is correct, and correct replicas only report
+          committed values). *)
 
 type t = { instance : int; body : body }
 

@@ -1,0 +1,71 @@
+(* Randomized chaos sweep — the heavyweight companion to test_faults.ml.
+
+     dune build @chaos
+
+   Runs every named fault scenario plus several seed-derived random
+   schedules against each ISS instantiation, with invariant checking and
+   the end-of-run liveness assertion enabled (Experiment.run does both when
+   given a scenario).  Any safety, exactly-once or liveness violation
+   raises Cluster.Invariant_violation and fails the build with the
+   checker's report. *)
+
+module Faults = Runner.Faults
+module Cluster = Runner.Cluster
+module Experiment = Runner.Experiment
+
+(* Same shortened configuration as test_faults.ml: more epochs (hence more
+   epoch changes, state transfers and bucket rotations) per simulated
+   second, and a post-heal grace period that keeps the sweep tractable. *)
+let fast c =
+  {
+    c with
+    Core.Config.min_epoch_length = 32;
+    min_segment_size = 4;
+    epoch_change_timeout = Sim.Time_ns.sec 4;
+    max_batch_timeout =
+      (if c.Core.Config.max_batch_timeout = 0 then 0 else Sim.Time_ns.sec 1);
+  }
+
+let systems =
+  [
+    Cluster.Iss Core.Config.PBFT;
+    Cluster.Iss Core.Config.HotStuff;
+    Cluster.Iss Core.Config.Raft;
+  ]
+
+let chaos_seeds = [ 1L; 2L; 3L ]
+
+let () =
+  let n = 4 in
+  let failures = ref 0 in
+  let run_one system sc =
+    let label =
+      Printf.sprintf "%-12s %s" (Cluster.system_name system) (Faults.name sc)
+    in
+    match
+      Experiment.run ~tweak:fast ~scenario:sc ~system ~n ~rate:300.0 ~duration_s:30.0
+        ~seed:7L ()
+    with
+    | r -> Format.printf "ok   %s  %a@." label Experiment.pp_result r
+    | exception Cluster.Invariant_violation report ->
+        incr failures;
+        Format.printf "FAIL %s@.%s@." label report
+  in
+  List.iter
+    (fun system ->
+      List.iter
+        (fun name ->
+          if name <> "chaos" then
+            match Faults.named ~n name with
+            | Ok sc -> run_one system sc
+            | Error e -> failwith e)
+        Faults.scenario_names;
+      List.iter
+        (fun seed -> run_one system (Faults.random ~seed ~n ~duration_s:30.0))
+        chaos_seeds)
+    systems;
+  if !failures > 0 then begin
+    Format.printf "@.%d chaos run(s) violated an invariant@." !failures;
+    exit 1
+  end
+  else Format.printf "@.all chaos runs passed@."
