@@ -32,6 +32,39 @@ let header title =
 
 let print_result r = Format.printf "%a@." E.pp_result r
 
+(* --json DIR: each figure additionally writes DIR/BENCH_<figure>.json with
+   one row per measurement run, so plots are reproducible without scraping
+   the text output.  Rows accumulate here while a figure runs; the driver
+   loop flushes them per figure. *)
+let json_dir : string option ref = ref None
+let json_rows : Obs.Jsonx.t list ref = ref []
+
+(* A result row, optionally tagged with figure-specific context (fault name,
+   policy, straggler count, ...). *)
+let emit ?(extra = []) ?series r =
+  if !json_dir <> None then
+    let row =
+      match E.result_to_json ?series r with
+      | Obs.Jsonx.Obj fields -> Obs.Jsonx.Obj (fields @ extra)
+      | j -> j
+    in
+    json_rows := row :: !json_rows
+
+let flush_figure_json name =
+  match (!json_dir, List.rev !json_rows) with
+  | None, _ | _, [] -> json_rows := []
+  | Some dir, rows ->
+      json_rows := [];
+      let file = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+      let json =
+        Obs.Jsonx.Obj [ ("figure", Obs.Jsonx.String name); ("rows", Obs.Jsonx.List rows) ]
+      in
+      let oc = open_out file in
+      output_string oc (Obs.Jsonx.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "[wrote %s]\n%!" file
+
 let print_series label (series : float array) =
   Printf.printf "%s\n" label;
   Array.iteri (fun i v -> Printf.printf "  t=%4ds  %10.0f req/s\n" i v) series;
@@ -79,6 +112,7 @@ let fig5 () =
           let duration_s = dur (if n >= 128 then 16.0 else 10.0 +. (float_of_int n /. 8.0)) in
           let r = E.peak_throughput ~system ~n ~duration_s ~seed () in
           Hashtbl.replace peaks (C.system_name system, n) r.E.throughput;
+          emit ~extra:[ ("peak_throughput_req_s", Obs.Jsonx.Float r.E.throughput) ] r;
           print_result r)
         node_counts)
     systems;
@@ -116,6 +150,7 @@ let fig6 () =
               let rate = frac *. peak in
               let duration_s = dur (10.0 +. (float_of_int n /. 8.0)) in
               let r = E.run ~tweak:relax ~system ~n ~rate ~duration_s ~seed () in
+              emit ~extra:[ ("load_fraction", Obs.Jsonx.Float frac) ] r;
               print_result r)
             fractions)
         [ 4; 32 ])
@@ -145,6 +180,10 @@ let fig7 () =
             E.run ~tweak:relax ~policy ~faults:[ fault ] ~system:(C.Iss Core.Config.PBFT) ~n:fault_n
               ~rate:fault_rate ~duration_s:(dur 35.0) ~seed ()
           in
+          emit
+            ~extra:
+              [ ("fault", Obs.Jsonx.String fault_name); ("policy", Obs.Jsonx.String pname) ]
+            r;
           Printf.printf "%-12s %-10s mean=%6.2fs  p95=%6.2fs  tput=%8.0f req/s\n%!" fault_name
             pname r.E.mean_latency_s r.E.p95_latency_s r.E.throughput)
         policies)
@@ -164,6 +203,7 @@ let fig8 () =
             E.run ~tweak:relax ~faults ~system:(C.Iss Core.Config.PBFT) ~n:fault_n ~rate:fault_rate
               ~duration_s:(dur duration_s) ~seed ()
           in
+          emit ~extra:[ ("fault", Obs.Jsonx.String fault_name) ] r;
           Printf.printf "duration=%4.0fs %-12s mean=%6.2fs  p95=%6.2fs\n%!" duration_s
             fault_name r.E.mean_latency_s r.E.p95_latency_s)
         [
@@ -182,6 +222,7 @@ let fig9 () =
         E.run ~tweak:relax ~faults ~system:(C.Iss Core.Config.PBFT) ~n:fault_n ~rate:fault_rate
           ~duration_s:(dur 45.0) ~seed ()
       in
+      emit ~series:true ~extra:[ ("fault", Obs.Jsonx.String fault_name) ] r;
       print_series (Printf.sprintf "--- crash at %s ---" fault_name) r.E.series)
     [ ("epoch start", [ E.Crash_at (1, 0.0) ]); ("epoch end", [ E.Crash_epoch_end 1 ]) ]
 
@@ -195,6 +236,7 @@ let fig10 () =
     E.run ~tweak:relax ~faults:[ E.Crash_at (3, 0.0) ] ~system:C.Mir ~n:fault_n ~rate:fault_rate
       ~duration_s:(dur 75.0) ~seed ()
   in
+  emit ~series:true ~extra:[ ("fault", Obs.Jsonx.String "epoch-start-crash") ] r;
   print_series "--- Mir-BFT, 1 epoch-start crash ---" r.E.series;
   Printf.printf
     "(zero-throughput periods at epoch changes; full 10 s stalls when the crashed node is \
@@ -213,6 +255,7 @@ let fig11 () =
         E.run ~tweak:relax ~faults ~system:(C.Iss Core.Config.PBFT) ~n:fault_n ~rate:fault_rate
           ~duration_s:(dur 40.0) ~seed ()
       in
+      emit ~extra:[ ("stragglers", Obs.Jsonx.Int k) ] r;
       Printf.printf "stragglers=%2d  tput=%8.0f req/s  mean=%6.2fs  p95=%6.2fs\n%!" k
         r.E.throughput r.E.mean_latency_s r.E.p95_latency_s)
     [ 0; 1; 4; 10 ]
@@ -224,6 +267,7 @@ let fig12 () =
     E.run ~tweak:relax ~faults:[ E.Straggler 1 ] ~system:(C.Iss Core.Config.PBFT) ~n:fault_n
       ~rate:fault_rate ~duration_s:(dur 45.0) ~seed ()
   in
+  emit ~series:true ~extra:[ ("stragglers", Obs.Jsonx.Int 1) ] r;
   print_series "--- 1 straggler ---" r.E.series;
   Printf.printf
     "(spikes every ~5 s: correct leaders' batches deliver once the straggler's batch \
@@ -381,11 +425,28 @@ let all_figures =
     ("micro", micro);
   ]
 
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
 let () =
+  let rec parse_args names = function
+    | [] -> List.rev names
+    | "--json" :: dir :: rest ->
+        json_dir := Some dir;
+        parse_args names rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires a directory argument";
+        exit 2
+    | name :: rest -> parse_args (name :: names) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ ->
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | _ :: _ as names -> names
+    | [] ->
         (* Importance order: if a run is cut short, the headline figures are
            already in the output. *)
         [
@@ -393,6 +454,7 @@ let () =
           "fig6"; "ablations";
         ]
   in
+  (match !json_dir with None -> () | Some dir -> mkdirs dir);
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
@@ -400,6 +462,7 @@ let () =
       | Some f ->
           let t = Unix.gettimeofday () in
           f ();
+          flush_figure_json name;
           Printf.printf "[%s done in %.0fs]\n%!" name (Unix.gettimeofday () -. t)
       | None ->
           Printf.printf "unknown experiment %S; available: %s\n" name

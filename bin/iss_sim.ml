@@ -123,6 +123,75 @@ let policy_arg =
 let series_arg =
   Arg.(value & flag & info [ "series" ] ~doc:"Print the 1-second throughput series.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write sampled request-lifecycle spans as JSON lines to $(docv) (one event per \
+           line: req, phase, node, t) and print the per-phase latency breakdown.")
+
+let trace_sample_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-sample" ] ~docv:"K"
+        ~doc:"Trace every K-th request (deterministic selection; 1 traces all).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run summary plus an end-of-run metric-registry snapshot (per-node \
+           gauges, cluster counters, latency histogram) as JSON to $(docv).")
+
+(* Observability wiring: a tracer must share the cluster's virtual clock, so
+   when either output is requested we pre-create the engine and hand it to
+   the experiment.  With neither flag the run is exactly the uninstrumented
+   one (no engine override, no tracer, no registry). *)
+let obs_setup ~trace_out ~metrics_out ~trace_sample =
+  if trace_out = None && metrics_out = None then (None, None, None)
+  else begin
+    let engine = Sim.Engine.create () in
+    let tracer =
+      match trace_out with
+      | None -> None
+      | Some _ -> Some (Obs.Tracer.create ~sample:trace_sample ~engine ())
+    in
+    let registry =
+      match metrics_out with None -> None | Some _ -> Some (Obs.Registry.create ())
+    in
+    (Some engine, tracer, registry)
+  end
+
+let obs_finish ~trace_out ~metrics_out ~engine ~tracer ~registry r =
+  (match (trace_out, tracer) with
+  | Some file, Some tr ->
+      let oc = open_out file in
+      Obs.Tracer.write_jsonl tr oc;
+      close_out oc;
+      Format.printf "%a@." Obs.Tracer.pp_breakdown tr;
+      Format.printf "trace: %d events (%d dropped) -> %s@." (Obs.Tracer.num_events tr)
+        (Obs.Tracer.dropped tr) file
+  | _ -> ());
+  match (metrics_out, registry, engine) with
+  | Some file, Some reg, Some engine ->
+      let json =
+        Obs.Jsonx.Obj
+          [
+            ("result", Runner.Experiment.result_to_json ~series:true r);
+            ("metrics", Obs.Registry.snapshot reg ~at:(Sim.Engine.now engine));
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Obs.Jsonx.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "metrics: %d series -> %s@." (Obs.Registry.num_metrics reg) file
+  | _ -> ()
+
 let print_result ~series r =
   Format.printf "%a@." Runner.Experiment.pp_result r;
   if series then begin
@@ -158,9 +227,11 @@ let run_cmd =
                 schedule's heal time and fails (exit 1) if any invariant breaks."
                (String.concat ", " Runner.Faults.scenario_names)))
   in
-  let go system n rate duration seed policy faults scenario series relaxed =
+  let go system n rate duration seed policy faults scenario series relaxed trace_out
+      trace_sample metrics_out =
     let tweak c = { c with Core.Config.strict_validation = not relaxed } in
     let seed = Int64.of_int seed in
+    let engine, tracer, registry = obs_setup ~trace_out ~metrics_out ~trace_sample in
     let scenario =
       match scenario with
       | None -> None
@@ -174,11 +245,12 @@ let run_cmd =
     in
     Option.iter (fun sc -> Format.printf "%a@." Runner.Faults.pp sc) scenario;
     match
-      Runner.Experiment.run ?policy ~tweak ~faults ?scenario ~system ~n ~rate
-        ~duration_s:duration ~seed ()
+      Runner.Experiment.run ?engine ?policy ~tweak ~faults ?scenario ?tracer ?registry
+        ~system ~n ~rate ~duration_s:duration ~seed ()
     with
     | r ->
         print_result ~series r;
+        obs_finish ~trace_out ~metrics_out ~engine ~tracer ~registry r;
         if Option.is_some scenario then Format.printf "invariants: OK@."
     | exception Runner.Cluster.Invariant_violation report ->
         Format.eprintf "INVARIANT VIOLATION@.%s@." report;
@@ -187,19 +259,24 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one measurement experiment.")
     Term.(
       const go $ system_arg $ n_arg $ rate_arg $ duration_arg $ seed_arg $ policy_arg
-      $ faults_arg $ scenario_arg $ series_arg $ relaxed_arg)
+      $ faults_arg $ scenario_arg $ series_arg $ relaxed_arg $ trace_out_arg
+      $ trace_sample_arg $ metrics_out_arg)
 
 let peak_cmd =
-  let go system n duration seed series =
+  let go system n duration seed series trace_out trace_sample metrics_out =
+    let engine, tracer, registry = obs_setup ~trace_out ~metrics_out ~trace_sample in
     let r =
-      Runner.Experiment.peak_throughput ~system ~n ~duration_s:duration
-        ~seed:(Int64.of_int seed) ()
+      Runner.Experiment.peak_throughput ?engine ?tracer ?registry ~system ~n
+        ~duration_s:duration ~seed:(Int64.of_int seed) ()
     in
-    print_result ~series r
+    print_result ~series r;
+    obs_finish ~trace_out ~metrics_out ~engine ~tracer ~registry r
   in
   Cmd.v
     (Cmd.info "peak" ~doc:"Measure peak throughput (over-saturated run, Fig. 5 metric).")
-    Term.(const go $ system_arg $ n_arg $ duration_arg $ seed_arg $ series_arg)
+    Term.(
+      const go $ system_arg $ n_arg $ duration_arg $ seed_arg $ series_arg $ trace_out_arg
+      $ trace_sample_arg $ metrics_out_arg)
 
 let topology_cmd =
   let go () =

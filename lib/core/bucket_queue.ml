@@ -18,6 +18,10 @@ type t = {
   mutable resurrected : (int * slot) list;  (* sorted ascending by seq *)
   mutable count : int;
   mutable last_seq : int;
+  (* Observability counters (DESIGN.md §8): two int stores per add, read
+     only by metric snapshots. *)
+  mutable total_added : int;
+  mutable max_count : int;
 }
 
 let initial_capacity = 64
@@ -31,10 +35,14 @@ let create () =
     resurrected = [];
     count = 0;
     last_seq = min_int;
+    total_added = 0;
+    max_count = 0;
   }
 
 let length t = t.count
 let is_empty t = t.count = 0
+let total_added t = t.total_added
+let max_occupancy t = t.max_count
 let mem t id = Hashtbl.mem t.by_id (Proto.Request.id_key id)
 
 let capacity t = Array.length t.buf
@@ -88,6 +96,8 @@ let add t ~seq (r : Proto.Request.t) =
     else insert_resurrected t seq slot;
     Hashtbl.replace t.by_id key slot;
     t.count <- t.count + 1;
+    t.total_added <- t.total_added + 1;
+    if t.count > t.max_count then t.max_count <- t.count;
     true
   end
 

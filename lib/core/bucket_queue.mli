@@ -21,6 +21,12 @@ val create : unit -> t
 val length : t -> int
 val is_empty : t -> bool
 
+val total_added : t -> int
+(** Requests ever accepted by {!add} (observability counter). *)
+
+val max_occupancy : t -> int
+(** High-water mark of {!length} over the queue's lifetime. *)
+
 val add : t -> seq:int -> Proto.Request.t -> bool
 (** [add t ~seq r] inserts [r] with arrival-order key [seq] (assigned by the
     caller from a per-node counter).  Returns [false] — and changes

@@ -33,6 +33,11 @@ let first_undelivered t = t.first_undelivered
 
 let total_delivered t = t.total_delivered
 
+(* Entries are never removed and delivery requires a contiguous committed
+   prefix, so every position below the frontier is in [entries]; the
+   difference counts positions committed ahead of it. *)
+let committed_ahead t = Hashtbl.length t.entries - t.first_undelivered
+
 let deliver_ready t ~on_batch =
   let delivered = ref 0 in
   let continue = ref true in

@@ -32,6 +32,11 @@ val first_undelivered : t -> int
 val total_delivered : t -> int
 (** Requests delivered so far (= next request sequence number). *)
 
+val committed_ahead : t -> int
+(** Positions committed at or beyond the delivery frontier — the commit
+    queue depth the observability layer reports (batches waiting for a gap
+    to fill before they can be delivered). *)
+
 val deliver_ready :
   t -> on_batch:(sn:int -> first_request_sn:int -> Proto.Batch.t -> unit) -> int
 (** Walk the frontier: deliver every committed batch at positions

@@ -37,6 +37,7 @@ type t = {
   raw_send : dst:int -> Proto.Message.t -> unit;
   orderer_factory : orderer_factory;
   hooks : hooks;
+  tracer : Obs.Tracer.t option;  (* request-lifecycle probe; None = zero cost *)
   keypair : Iss_crypto.Signature.keypair;
   threshold_group : Iss_crypto.Threshold.group;
   log : Log.t;
@@ -101,6 +102,20 @@ let projected_bucket_leader ~config ~epoch ~bucket = (bucket + epoch) mod config
 
 let pending_requests t = Array.fold_left (fun acc q -> acc + Bucket_queue.length q) 0 t.buckets
 
+let active_instances t = Hashtbl.length t.orderers
+
+let bucket_queue_added t = Array.fold_left (fun acc q -> acc + Bucket_queue.total_added q) 0 t.buckets
+
+let bucket_queue_max_occupancy t =
+  Array.fold_left (fun acc q -> Stdlib.max acc (Bucket_queue.max_occupancy q)) 0 t.buckets
+
+let checkpoint_lag t =
+  (* Epochs between the newest stable checkpoint this node holds and the
+     epoch it is working in.  A caught-up node has certificates through
+     epoch e-1 while in epoch e, i.e. lag 0. *)
+  let best = Hashtbl.fold (fun e _ acc -> Stdlib.max e acc) t.stable_certs (-1) in
+  Stdlib.max 0 (t.epoch.e_num - 1 - best)
+
 let last_stable_checkpoint t =
   Hashtbl.fold
     (fun _ (cert : Proto.Message.checkpoint_cert) best ->
@@ -110,9 +125,61 @@ let last_stable_checkpoint t =
     t.stable_certs None
 
 (* ------------------------------------------------------------------ *)
+(* Lifecycle tracing (DESIGN.md §8).
+
+   Every site is guarded by [t.tracer]; an uninstrumented run pays one
+   pointer comparison per site and allocates nothing.  SB-broadcast is
+   detected on the wire — the first send of a message carrying the batch's
+   proposal — so the cut -> broadcast gap reflects real leader-side work
+   (CPU charges, batcher scheduling) for every ordering protocol without
+   instrumenting the orderers themselves. *)
+
+let trace_event t phase (r : Proto.Request.t) =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Obs.Tracer.event tr ~req:(Proto.Request.id_key r.id) ~node:t.id phase
+
+let trace_batch_once tr ~node phase batch =
+  Proto.Batch.iter
+    (fun (r : Proto.Request.t) ->
+      Obs.Tracer.event_once tr ~req:(Proto.Request.id_key r.id) ~node phase)
+    batch
+
+let trace_proposal_send t msg =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> (
+      match msg with
+      | Proto.Message.Pbft
+          {
+            Proto.Pbft_msg.body =
+              Proto.Pbft_msg.Preprepare { proposal = Proto.Proposal.Batch b; _ };
+            _;
+          } ->
+          trace_batch_once tr ~node:t.id Obs.Tracer.Sb_broadcast b
+      | Proto.Message.Hotstuff
+          {
+            Proto.Hotstuff_msg.body =
+              Proto.Hotstuff_msg.Proposal_msg { proposal = Proto.Proposal.Batch b; _ };
+            _;
+          } ->
+          trace_batch_once tr ~node:t.id Obs.Tracer.Sb_broadcast b
+      | Proto.Message.Raft
+          { Proto.Raft_msg.body = Proto.Raft_msg.Append_entries { entries; _ }; _ } ->
+          List.iter
+            (fun (e : Proto.Raft_msg.entry) ->
+              match e.Proto.Raft_msg.proposal with
+              | Proto.Proposal.Batch b ->
+                  trace_batch_once tr ~node:t.id Obs.Tracer.Sb_broadcast b
+              | Proto.Proposal.Nil -> ())
+            entries
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Plumbing *)
 
 let send t ~dst msg =
+  trace_proposal_send t msg;
   if dst = t.id then
     (* Loopback: bypass the NIC, keep a small scheduling delay so local
        delivery stays asynchronous (as a channel to self would be). *)
@@ -183,6 +250,7 @@ let rec submit t (r : Proto.Request.t) =
           s
     in
     if Bucket_queue.add t.buckets.(bucket) ~seq r then begin
+      trace_event t Obs.Tracer.Enqueue r;
       if t.config.Config.client_signatures then
         charge_cpu_sync t Iss_crypto.Signature.verify_cost_ns;
       match t.bucket_batcher.(bucket) with
@@ -253,6 +321,9 @@ and try_cut t (b : batcher) =
     if cut_now then begin
       let sn, callback = Queue.pop b.waiting in
       let batch = if t.straggler then Proto.Batch.empty else cut_segment_batch t b.b_seg in
+      (match t.tracer with
+      | Some tr -> trace_batch_once tr ~node:t.id Obs.Tracer.Cut batch
+      | None -> ());
       b.last_cut <- now;
       Hashtbl.replace t.proposed sn batch;
       Proto.Batch.iter
@@ -371,6 +442,13 @@ let resurrect t (batch : Proto.Batch.t) =
 
 let rec process_commit t ~sn proposal ~resurrectable =
   if Log.commit t.log ~sn proposal then begin
+    (match (t.tracer, proposal) with
+    | Some tr, Proto.Proposal.Batch batch ->
+        Proto.Batch.iter
+          (fun (r : Proto.Request.t) ->
+            Obs.Tracer.event tr ~req:(Proto.Request.id_key r.id) ~node:t.id Obs.Tracer.Commit)
+          batch
+    | _ -> ());
     (match proposal with
     | Proto.Proposal.Batch batch ->
         let strict = t.config.Config.strict_validation in
@@ -409,6 +487,14 @@ let rec process_commit t ~sn proposal ~resurrectable =
     (* Deliver the contiguous prefix. *)
     ignore
       (Log.deliver_ready t.log ~on_batch:(fun ~sn ~first_request_sn batch ->
+           (match t.tracer with
+           | Some tr ->
+               Proto.Batch.iter
+                 (fun (r : Proto.Request.t) ->
+                   Obs.Tracer.event tr ~req:(Proto.Request.id_key r.id) ~node:t.id
+                     Obs.Tracer.Deliver)
+                 batch
+           | None -> ());
            t.hooks.on_batch_deliver t ~sn ~first_request_sn batch;
            match t.hooks.on_deliver with
            | Some f ->
@@ -792,7 +878,8 @@ and route_instance t ~src ~instance msg =
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let create ~config ~id ~engine ~send:raw_send ~orderer_factory ?(hooks = default_hooks) () =
+let create ~config ~id ~engine ~send:raw_send ~orderer_factory ?(hooks = default_hooks) ?tracer
+    () =
   (match Config.validate config with
   | Ok () -> ()
   | Error e -> invalid_arg ("Node.create: " ^ e));
@@ -807,6 +894,7 @@ let create ~config ~id ~engine ~send:raw_send ~orderer_factory ?(hooks = default
       raw_send;
       orderer_factory;
       hooks;
+      tracer;
       keypair = Iss_crypto.Signature.genkey ~id;
       threshold_group = Iss_crypto.Threshold.setup ~n ~t:(min n ((2 * f) + 1));
       log = Log.create ();

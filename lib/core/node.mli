@@ -49,8 +49,14 @@ val create :
   send:(dst:int -> Proto.Message.t -> unit) ->
   orderer_factory:orderer_factory ->
   ?hooks:hooks ->
+  ?tracer:Obs.Tracer.t ->
   unit ->
   t
+(** [tracer] installs the request-lifecycle probe (DESIGN.md §8): the node
+    records enqueue / cut / SB-broadcast / commit / deliver events for
+    sampled requests.  Omitted (the default), every instrumentation site
+    reduces to one pointer comparison and the run is bit-identical to an
+    untraced one. *)
 
 val start : t -> unit
 (** Enter epoch 0 and begin ordering. *)
@@ -90,6 +96,20 @@ val current_epoch : t -> int
 val log : t -> Log.t
 val pending_requests : t -> int
 (** Requests currently queued in this node's buckets. *)
+
+val active_instances : t -> int
+(** Live SB orderer instances (not yet garbage-collected by a stable
+    checkpoint) — the obs instance-count gauge. *)
+
+val bucket_queue_added : t -> int
+(** Requests ever accepted into this node's bucket queues. *)
+
+val bucket_queue_max_occupancy : t -> int
+(** Highest occupancy any single bucket queue of this node has reached. *)
+
+val checkpoint_lag : t -> int
+(** Epochs between the newest stable checkpoint this node holds and the
+    epoch it is working in; 0 when fully caught up. *)
 
 val delivered_count : t -> int
 val last_stable_checkpoint : t -> Proto.Message.checkpoint_cert option

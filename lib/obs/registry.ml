@@ -1,0 +1,56 @@
+(* Per-node metric registry.
+
+   Metrics are registered once at cluster construction and polled only when
+   a snapshot is taken, so registration changes nothing about a run:
+   counters and gauges are thunks over state the simulation maintains
+   anyway, histograms are references to live Sim.Metrics.Histogram values.
+   No metric updates happen on the hot path — the registry reads, it never
+   writes. *)
+
+type kind =
+  | Counter of (unit -> int)
+  | Gauge of (unit -> float)
+  | Histogram of Sim.Metrics.Histogram.t
+
+type entry = { name : string; node : int option; kind : kind }
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let register t ?node ~name kind = t.entries <- { name; node; kind } :: t.entries
+
+let counter t ?node ~name f = register t ?node ~name (Counter f)
+let gauge t ?node ~name f = register t ?node ~name (Gauge f)
+let histogram t ?node ~name h = register t ?node ~name (Histogram h)
+
+let num_metrics t = List.length t.entries
+
+let entry_json e =
+  let base = [ ("name", Jsonx.String e.name) ] in
+  let base =
+    match e.node with Some n -> base @ [ ("node", Jsonx.Int n) ] | None -> base
+  in
+  let value =
+    match e.kind with
+    | Counter f -> [ ("kind", Jsonx.String "counter"); ("value", Jsonx.Int (f ())) ]
+    | Gauge f -> [ ("kind", Jsonx.String "gauge"); ("value", Jsonx.Float (f ())) ]
+    | Histogram h ->
+        [
+          ("kind", Jsonx.String "histogram");
+          ("count", Jsonx.Int (Sim.Metrics.Histogram.count h));
+          ("mean", Jsonx.Float (Sim.Metrics.Histogram.mean h));
+          ("p50", Jsonx.Float (Sim.Metrics.Histogram.percentile h 50.0));
+          ("p95", Jsonx.Float (Sim.Metrics.Histogram.percentile h 95.0));
+          ("p99", Jsonx.Float (Sim.Metrics.Histogram.percentile h 99.0));
+          ("max", Jsonx.Float (Sim.Metrics.Histogram.max h));
+        ]
+  in
+  Jsonx.Obj (base @ value)
+
+let snapshot t ~at =
+  Jsonx.Obj
+    [
+      ("t", Jsonx.Float (Sim.Time_ns.to_sec_f at));
+      ("metrics", Jsonx.List (List.rev_map entry_json t.entries));
+    ]

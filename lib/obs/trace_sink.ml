@@ -1,0 +1,39 @@
+(* Sink constructors for Sim.Trace — the obs-side face of the trace
+   refactor.  Sim.Trace owns the (single) installation point; this module
+   builds the sinks worth installing. *)
+
+let stderr ~min_level = Sim.Trace.stderr_sink ~min_level
+
+let buffer buf ~min_level = Sim.Trace.buffer_sink buf ~min_level
+
+let jsonl buf ~min_level : Sim.Trace.sink =
+  {
+    Sim.Trace.min_level;
+    write =
+      (fun ~at ~level msg ->
+        Jsonx.to_buffer buf
+          (Jsonx.Obj
+             [
+               ("t", Jsonx.Float (Sim.Time_ns.to_sec_f at));
+               ( "level",
+                 Jsonx.String
+                   (match level with
+                   | Sim.Trace.Debug -> "debug"
+                   | Sim.Trace.Info -> "info"
+                   | Sim.Trace.Warn -> "warn") );
+               ("msg", Jsonx.String msg);
+             ]);
+        Buffer.add_char buf '\n');
+  }
+
+let with_sink sink f =
+  let saved = Sim.Trace.sink () in
+  Sim.Trace.set_sink (Some sink);
+  let finish () = Sim.Trace.set_sink saved in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e

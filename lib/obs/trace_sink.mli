@@ -1,0 +1,15 @@
+(** Sink constructors for {!Sim.Trace}.
+
+    Sim.Trace holds the single sink installation point (it cannot depend on
+    this library); obs provides the sinks: plain text to stderr or a
+    buffer, or machine-readable JSONL for post-processing alongside the
+    request-lifecycle trace. *)
+
+val stderr : min_level:Sim.Trace.level -> Sim.Trace.sink
+val buffer : Buffer.t -> min_level:Sim.Trace.level -> Sim.Trace.sink
+
+val jsonl : Buffer.t -> min_level:Sim.Trace.level -> Sim.Trace.sink
+(** One [{"t":..,"level":..,"msg":..}] object per trace line. *)
+
+val with_sink : Sim.Trace.sink -> (unit -> 'a) -> 'a
+(** Runs the thunk with the sink installed; restores the previous sink. *)

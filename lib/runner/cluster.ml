@@ -44,6 +44,7 @@ type t = {
   mutable track_delivered_ids : bool;
   delivered_ids : (int, unit) Hashtbl.t;  (* request id keys, when tracked *)
   mutable invariants : invariant_state option;
+  tracer : Obs.Tracer.t option;
 }
 
 let engine t = t.engine
@@ -54,6 +55,7 @@ let quorum_latencies t = t.latencies
 let delivered_quorum t = t.delivered_quorum
 let submitted t = t.submitted
 let reply_quorum t = t.reply_quorum
+let tracer t = t.tracer
 
 let note_submitted t (req : Proto.Request.t) =
   t.submitted <- t.submitted + 1;
@@ -90,8 +92,48 @@ let factory_for (config : Core.Config.t) =
   | Core.Config.HotStuff -> Hotstuff.Hotstuff_orderer.factory
   | Core.Config.Raft -> Raft.Raft_orderer.factory
 
-let create ?policy ?(tweak = fun c -> c) ~system ~n ~seed () =
-  let engine = Engine.create () in
+(* Per-node gauges and counters the observability layer samples at snapshot
+   time.  Everything here is a read of state the cluster maintains anyway —
+   registration costs nothing on the simulation hot path. *)
+let register_metrics reg t =
+  Obs.Registry.counter reg ~name:"net.messages_sent" (fun () -> Sim.Network.messages_sent t.net);
+  Obs.Registry.counter reg ~name:"net.bytes_sent" (fun () -> Sim.Network.bytes_sent t.net);
+  Obs.Registry.counter reg ~name:"engine.events_executed" (fun () ->
+      Engine.events_executed t.engine);
+  Obs.Registry.counter reg ~name:"cluster.submitted" (fun () -> t.submitted);
+  Obs.Registry.counter reg ~name:"cluster.delivered_quorum" (fun () -> t.delivered_quorum);
+  Obs.Registry.histogram reg ~name:"cluster.latency_s" t.latencies;
+  Array.iteri
+    (fun id node ->
+      Obs.Registry.gauge reg ~node:id ~name:"node.epoch" (fun () ->
+          float_of_int (Core.Node.current_epoch node));
+      Obs.Registry.gauge reg ~node:id ~name:"node.bucket_queue.occupancy" (fun () ->
+          float_of_int (Core.Node.pending_requests node));
+      Obs.Registry.counter reg ~node:id ~name:"node.bucket_queue.added" (fun () ->
+          Core.Node.bucket_queue_added node);
+      Obs.Registry.gauge reg ~node:id ~name:"node.bucket_queue.max_occupancy" (fun () ->
+          float_of_int (Core.Node.bucket_queue_max_occupancy node));
+      Obs.Registry.gauge reg ~node:id ~name:"node.commit_queue.depth" (fun () ->
+          float_of_int (Core.Log.committed_ahead (Core.Node.log node)));
+      Obs.Registry.gauge reg ~node:id ~name:"node.orderer.instances" (fun () ->
+          float_of_int (Core.Node.active_instances node));
+      Obs.Registry.gauge reg ~node:id ~name:"node.checkpoint.lag_epochs" (fun () ->
+          float_of_int (Core.Node.checkpoint_lag node));
+      Obs.Registry.counter reg ~node:id ~name:"node.delivered" (fun () ->
+          Core.Node.delivered_count node);
+      Obs.Registry.gauge reg ~node:id ~name:"node.nic.tx_backlog_s" (fun () ->
+          Time_ns.to_sec_f
+            (Sim.Network.nic_backlog t.net ~endpoint:id ~dir:`Tx ~peer:Sim.Network.Node));
+      Obs.Registry.gauge reg ~node:id ~name:"node.nic.rx_backlog_s" (fun () ->
+          Time_ns.to_sec_f
+            (Sim.Network.nic_backlog t.net ~endpoint:id ~dir:`Rx ~peer:Sim.Network.Node));
+      Obs.Registry.gauge reg ~node:id ~name:"node.nic.client_tx_backlog_s" (fun () ->
+          Time_ns.to_sec_f
+            (Sim.Network.nic_backlog t.net ~endpoint:id ~dir:`Tx ~peer:Sim.Network.Client)))
+    t.nodes
+
+let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~seed () =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
   let rng = Sim.Rng.create ~seed in
   let net = Sim.Network.create engine ~rng:(Sim.Rng.split rng) () in
   let config = config_of_system ~system ~n ~policy ~tweak in
@@ -119,6 +161,7 @@ let create ?policy ?(tweak = fun c -> c) ~system ~n ~seed () =
       track_delivered_ids = false;
       delivered_ids = Hashtbl.create 4096;
       invariants = None;
+      tracer;
     }
   in
   (* Measurement hook: when the [reply_quorum]-th node's delivery frontier
@@ -194,6 +237,16 @@ let create ?policy ?(tweak = fun c -> c) ~system ~n ~seed () =
             Hashtbl.replace t.delivered_ids (Proto.Request.id_key r.id) ();
           let client_dc = client_datacenter t ~client:r.id.Proto.Request.client in
           let reply_prop = Sim.Topology.latency node_dc client_dc in
+          (* Reply = the quorum's reply reaching the client: the simulated
+             moment the request's end-to-end latency ends. *)
+          (match t.tracer with
+          | None -> ()
+          | Some tr ->
+              Obs.Tracer.record tr
+                ~req:(Proto.Request.id_key r.id)
+                ~node:node_id
+                ~at:(Time_ns.add now reply_prop)
+                Obs.Tracer.Reply);
           let latency =
             Time_ns.to_sec_f (Time_ns.diff (Time_ns.add now reply_prop) r.submitted_at)
           in
@@ -227,9 +280,10 @@ let create ?policy ?(tweak = fun c -> c) ~system ~n ~seed () =
         Core.Node.create ~config ~id ~engine
           ~send:(fun ~dst msg ->
             Sim.Network.send net ~src:id ~dst ~size:(Proto.Message.wire_size msg) msg)
-          ~orderer_factory:(factory_for config) ~hooks ())
+          ~orderer_factory:(factory_for config) ~hooks ?tracer ())
   in
   t.nodes <- nodes;
+  (match registry with None -> () | Some reg -> register_metrics reg t);
   Array.iteri
     (fun id node ->
       Sim.Network.add_endpoint net ~id ~category:Sim.Network.Node ~datacenter:placement.(id)

@@ -20,16 +20,27 @@ val nodes : t -> Core.Node.t array
 val config : t -> Core.Config.t
 
 val create :
+  ?engine:Sim.Engine.t ->
   ?policy:Core.Config.leader_policy_kind ->
   ?tweak:(Core.Config.t -> Core.Config.t) ->
+  ?tracer:Obs.Tracer.t ->
+  ?registry:Obs.Registry.t ->
   system:system ->
   n:int ->
   seed:int64 ->
   unit ->
   t
-(** [policy] overrides the leader-selection policy for ISS systems (the
-    default is the config preset's, i.e. BLACKLIST).  [tweak] patches the
-    final configuration (ablations). *)
+(** [engine] supplies an existing (fresh) simulation engine — needed when a
+    tracer must be built against the same clock before the cluster exists;
+    by default the cluster creates its own.  [policy] overrides the
+    leader-selection policy for ISS systems (the default is the config
+    preset's, i.e. BLACKLIST).  [tweak] patches the
+    final configuration (ablations).  [tracer] threads the request-lifecycle
+    probe through every node and the cluster's measurement hook (DESIGN.md
+    §8); [registry] registers the standard per-node gauges (bucket-queue
+    occupancy, commit queue depth, live SB instances, checkpoint lag, NIC
+    backlogs) and cluster-wide counters against it.  Both default to off,
+    leaving runs bit-identical to an uninstrumented build. *)
 
 val start : t -> unit
 
@@ -97,6 +108,10 @@ val submitted : t -> int
 
 val reply_quorum : t -> int
 (** f+1 for BFT systems, 1 for Raft. *)
+
+val tracer : t -> Obs.Tracer.t option
+(** The lifecycle tracer installed at {!create} time, if any — the workload
+    records client-side [Submit] events against it. *)
 
 val client_datacenter : t -> client:int -> int
 (** Placement of a virtual client (round-robin over the datacenters). *)

@@ -11,6 +11,7 @@ type result = {
   mean_latency_s : float;
   p50_latency_s : float;
   p95_latency_s : float;
+  p99_latency_s : float;
   series : float array;
   sim_events : int;
   net_messages : int;
@@ -22,9 +23,9 @@ type fault =
   | Crash_epoch_end of int
   | Straggler of int
 
-let run ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s = 5.0) ~system ~n
-    ~rate ~duration_s ~seed () =
-  let cluster = Cluster.create ?policy ?tweak ~system ~n ~seed () in
+let run ?engine ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s = 5.0)
+    ?tracer ?registry ~system ~n ~rate ~duration_s ~seed () =
+  let cluster = Cluster.create ?engine ?policy ?tweak ?tracer ?registry ~system ~n ~seed () in
   let engine = Cluster.engine cluster in
   let until = Time_ns.of_sec_f duration_s in
   List.iter
@@ -83,6 +84,7 @@ let run ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s = 5.0) ~
     mean_latency_s = Sim.Metrics.Histogram.mean hist;
     p50_latency_s = Sim.Metrics.Histogram.percentile hist 50.0;
     p95_latency_s = Sim.Metrics.Histogram.percentile hist 95.0;
+    p99_latency_s = Sim.Metrics.Histogram.percentile hist 99.0;
     series;
     sim_events = Sim.Engine.events_executed engine;
     net_messages = Sim.Network.messages_sent (Cluster.network cluster);
@@ -110,17 +112,45 @@ let saturation_estimate system ~n =
       in
       min bandwidth_bound rate_bound *. 1.3
 
-let peak_throughput ?(tweak = fun c -> c) ~system ~n ~duration_s ~seed () =
+let peak_throughput ?engine ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~duration_s
+    ~seed () =
   let rate = saturation_estimate system ~n in
   (* Peak runs are fault-free with honest leaders and non-retransmitting
      modeled clients; relaxed validation skips per-request bookkeeping that
      cannot fire (see Config.strict_validation). *)
   let tweak c = { (tweak c) with Core.Config.strict_validation = false } in
-  run ~tweak ~system ~n ~rate ~duration_s ~seed ()
+  run ?engine ~tweak ?tracer ?registry ~system ~n ~rate ~duration_s ~seed ()
 
 let pp_result fmt r =
   Format.fprintf fmt
-    "%-14s n=%-4d offered=%9.0f req/s  tput=%9.0f req/s  lat(mean/p50/p95)=%6.2f/%6.2f/%6.2f s  \
-     delivered=%d/%d"
+    "%-14s n=%-4d offered=%9.0f req/s  tput=%9.0f req/s  \
+     lat(mean/p50/p95/p99)=%6.2f/%6.2f/%6.2f/%6.2f s  delivered=%d/%d"
     r.system r.n r.offered r.throughput r.mean_latency_s r.p50_latency_s r.p95_latency_s
-    r.delivered r.submitted
+    r.p99_latency_s r.delivered r.submitted
+
+let result_to_json ?(series = false) r =
+  let open Obs.Jsonx in
+  let base =
+    [
+      ("system", String r.system);
+      ("n", Int r.n);
+      ("offered_req_s", Float r.offered);
+      ("duration_s", Float r.duration_s);
+      ("submitted", Int r.submitted);
+      ("delivered", Int r.delivered);
+      ("throughput_req_s", Float r.throughput);
+      ("mean_latency_s", Float r.mean_latency_s);
+      ("p50_latency_s", Float r.p50_latency_s);
+      ("p95_latency_s", Float r.p95_latency_s);
+      ("p99_latency_s", Float r.p99_latency_s);
+      ("sim_events", Int r.sim_events);
+      ("net_messages", Int r.net_messages);
+      ("net_bytes", Int r.net_bytes);
+    ]
+  in
+  let extra =
+    if series then
+      [ ("series_req_s", List (Array.to_list (Array.map (fun v -> Float v) r.series))) ]
+    else []
+  in
+  Obj (base @ extra)

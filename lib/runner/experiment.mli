@@ -15,6 +15,7 @@ type result = {
   mean_latency_s : float;
   p50_latency_s : float;
   p95_latency_s : float;
+  p99_latency_s : float;
   series : float array;  (** delivered req/s per 1-second bin *)
   sim_events : int;
   net_messages : int;  (** node-to-node messages sent *)
@@ -27,12 +28,15 @@ type fault =
   | Straggler of int
 
 val run :
+  ?engine:Sim.Engine.t ->
   ?policy:Core.Config.leader_policy_kind ->
   ?tweak:(Core.Config.t -> Core.Config.t) ->
   ?faults:fault list ->
   ?scenario:Faults.t ->
   ?num_clients:int ->
   ?warmup_s:float ->
+  ?tracer:Obs.Tracer.t ->
+  ?registry:Obs.Registry.t ->
   system:Cluster.system ->
   n:int ->
   rate:float ->
@@ -53,7 +57,10 @@ val run :
     delivered — is asserted at the end. *)
 
 val peak_throughput :
+  ?engine:Sim.Engine.t ->
   ?tweak:(Core.Config.t -> Core.Config.t) ->
+  ?tracer:Obs.Tracer.t ->
+  ?registry:Obs.Registry.t ->
   system:Cluster.system ->
   n:int ->
   duration_s:float ->
@@ -68,3 +75,8 @@ val saturation_estimate : Cluster.system -> n:int -> float
     analytical ceiling in this simulator). *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val result_to_json : ?series:bool -> result -> Obs.Jsonx.t
+(** The result as a JSON object (field names mirror the record, with units
+    suffixed).  [series] additionally includes the per-second throughput
+    series; off by default to keep figure files small. *)

@@ -54,6 +54,14 @@ let start ~cluster ~rate ?(num_clients = 2048) ?(resubmit = false) ?sweep_until 
             ~submitted_at ()
         in
         Cluster.note_submitted cluster r;
+        (* Submit = the client handing the request to its NIC: the origin of
+           every lifecycle trace.  Node -1 marks the client side. *)
+        (match Cluster.tracer cluster with
+        | None -> ()
+        | Some tr ->
+            Obs.Tracer.record tr
+              ~req:(Proto.Request.id_key r.Proto.Request.id)
+              ~node:(-1) ~at:submitted_at Obs.Tracer.Submit);
         if resubmit then Queue.push r outstanding;
         let bucket = Proto.Request.bucket_of_id ~num_buckets r.Proto.Request.id in
         let epoch = Core.Node.current_epoch ref_node in

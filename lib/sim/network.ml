@@ -140,6 +140,12 @@ let charge t ~endpoint:id ~dir ~peer ~bytes =
   if dir = `Tx then ep.bytes_out <- ep.bytes_out + bytes;
   Time_ns.diff free_at now
 
+let nic_backlog t ~endpoint:id ~dir ~peer =
+  let ep = endpoint t id in
+  let nic = nic_index ep ~peer_category:peer in
+  let horizon = (match dir with `Tx -> ep.tx_free | `Rx -> ep.rx_free).(nic) in
+  Stdlib.max 0 (Time_ns.diff horizon (Engine.now t.engine))
+
 let crash t id = (endpoint t id).crashed <- true
 
 let recover t id =

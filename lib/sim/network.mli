@@ -105,3 +105,10 @@ val bytes_sent : 'a t -> int
 val endpoint_bytes_sent : 'a t -> int -> int
 (** Bytes a given endpoint has pushed into its NICs; identifies bottleneck
     nodes. *)
+
+val nic_backlog :
+  'a t -> endpoint:int -> dir:[ `Tx | `Rx ] -> peer:category -> Time_ns.span
+(** Remaining serialization backlog of the NIC facing [peer]: how far the
+    endpoint's [dir] horizon lies beyond the current virtual time (0 when
+    idle).  A pure observation — reading it never advances any horizon;
+    the observability layer exposes it as a bytes-in-flight gauge. *)

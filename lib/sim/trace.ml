@@ -1,40 +1,54 @@
 type level = Debug | Info | Warn
 
-let enabled = ref false
-let level = ref Info
-let sink : Buffer.t option ref = ref None
+type sink = { min_level : level; write : at:Time_ns.t -> level:level -> string -> unit }
 
-let set_enabled b = enabled := b
-let set_level l = level := l
+(* The single installation point: protocol code only ever consults this one
+   reference.  The obs subsystem (lib/obs) provides sink constructors; the
+   legacy set_enabled/set_level/with_capture API below installs equivalent
+   sinks so existing callers and tests are unaffected. *)
+let current : sink option ref = ref None
+
+let set_sink s = current := s
+let sink () = !current
 
 let severity = function Debug -> 0 | Info -> 1 | Warn -> 2
 
 let emit engine lvl fmt =
-  if !enabled && severity lvl >= severity !level then begin
-    let k ppf =
-      Format.fprintf ppf "[%a] " Time_ns.pp (Engine.now engine);
-      ppf
-    in
-    match !sink with
-    | Some buf ->
-        let ppf = Format.formatter_of_buffer buf in
-        Format.kfprintf
-          (fun ppf -> Format.fprintf ppf "@."; Format.pp_print_flush ppf ())
-          (k ppf) fmt
-    | None ->
-        Format.kfprintf (fun ppf -> Format.fprintf ppf "@.") (k Format.err_formatter) fmt
-  end
-  else Format.ifprintf Format.err_formatter fmt
+  match !current with
+  | Some s when severity lvl >= severity s.min_level ->
+      Format.kasprintf (fun msg -> s.write ~at:(Engine.now engine) ~level:lvl msg) fmt
+  | Some _ | None -> Format.ifprintf Format.err_formatter fmt
+
+let format_line ~at msg = Format.asprintf "[%a] %s" Time_ns.pp at msg
+
+let stderr_sink ~min_level =
+  { min_level; write = (fun ~at ~level:_ msg -> prerr_endline (format_line ~at msg)) }
+
+let buffer_sink buf ~min_level =
+  {
+    min_level;
+    write =
+      (fun ~at ~level:_ msg ->
+        Buffer.add_string buf (format_line ~at msg);
+        Buffer.add_char buf '\n');
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Legacy shim *)
+
+let shim_level = ref Info
+
+let set_level l =
+  shim_level := l;
+  match !current with Some s -> current := Some { s with min_level = l } | None -> ()
+
+let set_enabled b = current := (if b then Some (stderr_sink ~min_level:!shim_level) else None)
 
 let with_capture f =
   let buf = Buffer.create 256 in
-  let saved_sink = !sink and saved_enabled = !enabled in
-  sink := Some buf;
-  enabled := true;
-  let finish () =
-    sink := saved_sink;
-    enabled := saved_enabled
-  in
+  let saved = !current in
+  current := Some (buffer_sink buf ~min_level:!shim_level);
+  let finish () = current := saved in
   match f () with
   | v ->
       finish ();

@@ -1,18 +1,47 @@
 (** Lightweight simulation tracing.
 
-    Protocol code emits trace points tagged with the simulated time; tests
-    and the CLI can turn categories on to debug protocol runs without paying
-    any formatting cost when disabled. *)
+    Protocol code emits trace points tagged with the simulated time.  Where
+    the trace text goes is decided by the installed {!sink} — nothing, a
+    buffer, stderr, or anything the observability layer (lib/obs) installs.
+    With no sink installed, {!emit} pays no formatting cost. *)
 
 type level = Debug | Info | Warn
 
-val set_enabled : bool -> unit
-val set_level : level -> unit
+type sink = {
+  min_level : level;
+  write : at:Time_ns.t -> level:level -> string -> unit;
+      (** Called once per emitted line with the formatted message (no
+          timestamp prefix — the sink decides the presentation). *)
+}
+
+val set_sink : sink option -> unit
+(** Install (or remove) the trace sink.  One sink is active at a time. *)
+
+val sink : unit -> sink option
+
+val stderr_sink : min_level:level -> sink
+(** Writes ["[<sim time>] <msg>"] lines to stderr. *)
+
+val buffer_sink : Buffer.t -> min_level:level -> sink
+(** Appends ["[<sim time>] <msg>\n"] to the buffer. *)
 
 val emit : Engine.t -> level -> ('a, Format.formatter, unit) format -> 'a
-(** [emit engine lvl fmt ...] prints ["[<sim time>] <msg>"] to stderr when
-    tracing is enabled at [lvl] or below. *)
+(** [emit engine lvl fmt ...] formats and hands the line to the installed
+    sink when one is present at [lvl] or below; otherwise free. *)
+
+(** {2 Legacy shim}
+
+    The pre-obs global-toggle API, preserved for existing callers and
+    tests; implemented by installing the equivalent sink. *)
+
+val set_enabled : bool -> unit
+(** [true] installs {!stderr_sink} at the last {!set_level}; [false]
+    removes the sink. *)
+
+val set_level : level -> unit
+(** Remembers the level for future {!set_enabled}/{!with_capture} and
+    re-levels the currently installed sink, if any. *)
 
 val with_capture : (unit -> 'a) -> 'a * string
-(** Runs the thunk with tracing redirected into a buffer; returns the result
-    and the captured trace text.  Used by tests asserting on trace output. *)
+(** Runs the thunk with a {!buffer_sink} installed; returns the result and
+    the captured trace text.  Restores the previously installed sink. *)

@@ -400,6 +400,34 @@ let prop_watermarks_permutation =
         order;
       Core.Watermarks.floor w 1 = n)
 
+(* The ring-overflow degrade path (watermarks.ml): a timestamp at or past
+   [floor + capacity] cannot be represented in the bitmap, so the tracker
+   advances the floor instead of setting a bit.  The safety contract is that
+   [delivered] is monotone — once it has answered [true] for an id, no later
+   [note_delivered] (however far it jumps the floor) may flip it back to
+   [false], because a node trusts [true] to mean "never deliver this request
+   again".  False negatives are allowed (they cause a redundant proposal
+   attempt, rejected elsewhere); un-delivering is not. *)
+let prop_watermarks_overflow_no_duplicate =
+  (* window 8 -> capacity 32; ts up to 400 drives the degrade path hard,
+     including repeated overflow jumps and bit aliasing across ring wraps. *)
+  QCheck.Test.make ~name:"ring overflow never un-delivers (no duplicate delivery)" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 60) (pair (int_bound 2) (int_bound 400)))
+    (fun ops ->
+      let w = Core.Watermarks.create ~window:8 in
+      let seen = Hashtbl.create 64 in
+      List.for_all
+        (fun (client, ts) ->
+          let id = { Proto.Request.client; ts } in
+          Core.Watermarks.note_delivered w id;
+          if Core.Watermarks.delivered w id then Hashtbl.replace seen (client, ts) ();
+          (* Every id ever reported delivered must still be reported so. *)
+          Hashtbl.fold
+            (fun (client, ts) () ok ->
+              ok && Core.Watermarks.delivered w { Proto.Request.client; ts })
+            seen true)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* Config *)
 
@@ -500,6 +528,7 @@ let () =
           Alcotest.test_case "window" `Quick test_watermarks_window;
           Alcotest.test_case "out of order" `Quick test_watermarks_out_of_order;
           qc prop_watermarks_permutation;
+          qc prop_watermarks_overflow_no_duplicate;
         ] );
       ( "config",
         [
