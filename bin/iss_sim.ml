@@ -296,6 +296,119 @@ let topology_cmd =
   in
   Cmd.v (Cmd.info "topology" ~doc:"Print the modeled WAN latency matrix.") Term.(const go $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Differential conformance fuzzing (DESIGN.md §9) *)
+
+let protocol_of_name s =
+  match String.lowercase_ascii s with
+  | "pbft" -> Some Core.Config.PBFT
+  | "hotstuff" -> Some Core.Config.HotStuff
+  | "raft" -> Some Core.Config.Raft
+  | _ -> None
+
+let conform_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of fuzzed seeds to check (seed, seed+1, ...).")
+  in
+  let start_arg =
+    Arg.(value & opt int 1 & info [ "start" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"On failure, greedily minimize the scenario before reporting it.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a committed repro (scenario + protocol) or a bare scenario JSON file \
+             instead of fuzzing.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"Write a self-contained repro JSON for every failure into $(docv).")
+  in
+  let fail_and_exit ~shrink ~save f =
+    let f = if shrink then Conform.Shrink.minimize_failure f else f in
+    Format.eprintf "CONFORMANCE FAILURE@.%a@." Conform.Harness.pp_failure f;
+    Format.eprintf "scenario: %s@." (Conform.Scenario.to_string f.Conform.Harness.scenario);
+    (match save with
+    | Some dir ->
+        let file = Conform.Harness.save_repro f ~dir in
+        Format.eprintf "repro written to %s@." file
+    | None -> ());
+    exit 1
+  in
+  let replay ~shrink ~save file =
+    let contents = In_channel.with_open_text file In_channel.input_all in
+    match Obs.Jsonx.of_string contents with
+    | Error e ->
+        Format.eprintf "%s: %s@." file e;
+        exit 2
+    | Ok json -> (
+        let scenario_json =
+          match Obs.Jsonx.member "scenario" json with Some s -> s | None -> json
+        in
+        match Conform.Scenario.of_json scenario_json with
+        | Error e ->
+            Format.eprintf "%s: %s@." file e;
+            exit 2
+        | Ok sc -> (
+            let protocols =
+              match Obs.Jsonx.member "protocol" json with
+              | Some (Obs.Jsonx.String p) -> (
+                  match protocol_of_name p with
+                  | Some p -> [ p ]
+                  | None ->
+                      Format.eprintf "%s: unknown protocol %S@." file p;
+                      exit 2)
+              | _ -> Conform.Harness.protocols
+            in
+            Format.printf "replaying %a against %s@." Conform.Scenario.pp sc
+              (String.concat ", " (List.map Core.Config.protocol_name protocols));
+            let rec go = function
+              | [] -> Format.printf "conformance: OK@."
+              | p :: rest -> (
+                  match Conform.Harness.check_protocol sc p with
+                  | Ok () -> go rest
+                  | Error f -> fail_and_exit ~shrink ~save f)
+            in
+            go protocols))
+  in
+  let go seeds start shrink replay_file save =
+    match replay_file with
+    | Some file -> replay ~shrink ~save file
+    | None ->
+        for k = start to start + seeds - 1 do
+          let sc = Conform.Scenario.of_seed (Int64.of_int k) in
+          Format.printf "%a ...@?" Conform.Scenario.pp sc;
+          (match Conform.Harness.check_scenario sc with
+          | Ok () -> Format.printf " OK@."
+          | Error f ->
+              Format.printf " FAIL@.";
+              fail_and_exit ~shrink ~save f)
+        done;
+        Format.printf "conformance: %d seeds passed (x %d protocols, instrumented + bare)@."
+          seeds
+          (List.length Conform.Harness.protocols)
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Differential conformance fuzzing: run fuzzed schedules against all three ISS \
+          instantiations and check them against an idealized atomic-broadcast reference \
+          model, with determinism and instrumented/bare bit-identity asserted per seed.")
+    Term.(const go $ seeds_arg $ start_arg $ shrink_arg $ replay_arg $ save_arg)
+
 let config_cmd =
   let go system n =
     let config =
@@ -313,4 +426,4 @@ let config_cmd =
 let () =
   setup_profiler ();
   let info = Cmd.info "iss_sim" ~doc:"ISS (Insanely Scalable SMR) simulator." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; peak_cmd; topology_cmd; config_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; peak_cmd; conform_cmd; topology_cmd; config_cmd ]))

@@ -1,0 +1,49 @@
+(** Differential conformance checker (DESIGN.md §9).
+
+    Replays the raw observer streams of one run — every workload submission
+    and every per-node batch delivery — against the reference model of an
+    idealized atomic broadcast, independently of {!Runner.Cluster}'s online
+    invariant checker (the two implementations cross-validate each other).
+
+    Checked properties: cross-node agreement and per-node total order,
+    no fabrication, exactly-once (per node and globally), Eq. (2) request
+    numbering chaining across observed log positions (⊥ and empty
+    keep-alive batches deliver nothing and are transparent to the chain),
+    liveness against the reply quorum, per-client delivered-range
+    completeness, and client watermark window closure (§3.7). *)
+
+type t
+
+type stats = {
+  sns : int;  (** distinct log positions delivered somewhere *)
+  requests : int;  (** distinct requests ordered *)
+  quorum_requests : int;  (** requests whose position reached the reply quorum *)
+  per_node_delivered : int array;  (** requests delivered by each node *)
+}
+
+val create : n:int -> reply_quorum:int -> window:int -> t
+(** [window] is the configuration's [client_watermark_window]. *)
+
+val note_submitted : t -> Proto.Request.t -> unit
+(** Feed from {!Runner.Cluster.set_submission_observer}. *)
+
+val note_delivery : t -> node:int -> sn:int -> first_request_sn:int -> Proto.Batch.t -> unit
+(** Feed from {!Runner.Cluster.set_delivery_observer}.  Violations are
+    recorded (first one wins), never raised — a failing run completes and is
+    then shrunk. *)
+
+val finalize : t -> (stats, string) result
+(** Run the end-of-run structural checks (Eq. 2 global chaining, liveness,
+    per-client completeness and window closure) and
+    report the first recorded violation, if any.  Call only after the
+    engine has run past the schedule's heal time plus the liveness grace
+    period. *)
+
+val violation : t -> string option
+(** The first recorded violation so far, without running the structural
+    checks. *)
+
+val fingerprint : t -> string
+(** Hex digest of the complete observed behaviour (ordered log + per-node
+    progress) — equal fingerprints mean behaviourally identical runs.  Used
+    for the determinism and instrumented-vs-bare bit-identity assertions. *)

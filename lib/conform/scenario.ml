@@ -1,0 +1,231 @@
+(* A conformance scenario: everything needed to reproduce one fuzzed run —
+   cluster size, workload shape, and the fault/jitter schedule.  Scenarios
+   are plain data with an exact JSON round-trip so a failing seed can be
+   committed to the corpus and replayed bit-identically later. *)
+
+module Rng = Sim.Rng
+module Faults = Runner.Faults
+module J = Obs.Jsonx
+
+type t = {
+  seed : int64;  (* drives the cluster RNG and (via derivation) every draw below *)
+  n : int;
+  rate : float;  (* offered load, requests/s *)
+  num_clients : int;  (* small pools stress the per-client watermark window *)
+  duration_s : float;  (* submission window; the run extends to heal + grace *)
+  faults : Faults.spec list;
+}
+
+let name t = Printf.sprintf "seed-%Ld" t.seed
+
+(* Quantize a float draw to milliseconds: scenario times survive the JSON
+   round-trip textually unchanged and shrink steps stay tidy. *)
+let ms_quant x = Float.round (x *. 1000.0) /. 1000.0
+
+(* ------------------------------------------------------------------ *)
+(* The fuzzer.  Every structural choice comes from a generator derived from
+   the scenario seed, so [of_seed] is a pure function of [seed]. *)
+
+let of_seed seed =
+  let rng = Rng.create ~seed in
+  let n = Rng.pick rng [| 4; 4; 5; 7 |] in
+  let num_clients = 2 + Rng.int rng 7 in
+  let rate = float_of_int (60 + (20 * Rng.int rng 12)) in
+  let duration_s = float_of_int (4 + Rng.int rng 6) in
+  (* Fault schedule: a quarter of the seeds run fault-free (pure ordering /
+     watermark / GC conformance); the rest draw a sequential schedule of
+     crash-recoveries, partitions, loss and straggler windows. *)
+  let schedule =
+    if Rng.int rng 4 = 0 then []
+    else
+      Faults.spec (Faults.random ~seed:(Rng.next_int64 rng) ~n ~duration_s)
+  in
+  (* Latency jitter: an extra slow-link window on one random link, on top of
+     whatever the schedule does (slow links never threaten liveness, so
+     overlap is fine). *)
+  let jitter =
+    if Rng.int rng 3 = 0 then
+      let a = Rng.int rng n in
+      let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+      let from_s = ms_quant (Rng.float rng (0.8 *. duration_s)) in
+      let until_s = ms_quant (from_s +. 0.5 +. Rng.float rng duration_s) in
+      let extra = Sim.Time_ns.ms (20 + Rng.int rng 180) in
+      [ Faults.Slow_link { a; b; extra; from_s; until_s } ]
+    else []
+  in
+  { seed; n; rate; num_clients; duration_s; faults = schedule @ jitter }
+
+let validate t =
+  if t.n < 4 then Error "n must be at least 4"
+  else if t.rate <= 0.0 then Error "rate must be positive"
+  else if t.num_clients < 1 then Error "num_clients must be positive"
+  else if t.duration_s <= 0.0 then Error "duration_s must be positive"
+  else Faults.validate (Faults.make ~name:(name t) t.faults) ~n:t.n
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec (repro files).  Spans are encoded as integer nanoseconds;
+   floats print via Jsonx's round-tripping formatter. *)
+
+let spec_to_json (s : Faults.spec) =
+  let obj kind fields = J.Obj (("kind", J.String kind) :: fields) in
+  match s with
+  | Faults.Crash { node; at_s } ->
+      obj "crash" [ ("node", J.Int node); ("at_s", J.Float at_s) ]
+  | Faults.Recover { node; at_s } ->
+      obj "recover" [ ("node", J.Int node); ("at_s", J.Float at_s) ]
+  | Faults.Crash_recover { node; at_s; down_s } ->
+      obj "crash_recover"
+        [ ("node", J.Int node); ("at_s", J.Float at_s); ("down_s", J.Float down_s) ]
+  | Faults.Isolate { node; from_s; until_s } ->
+      obj "isolate"
+        [ ("node", J.Int node); ("from_s", J.Float from_s); ("until_s", J.Float until_s) ]
+  | Faults.Split { minority; from_s; until_s } ->
+      obj "split"
+        [
+          ("minority", J.List (List.map (fun i -> J.Int i) minority));
+          ("from_s", J.Float from_s);
+          ("until_s", J.Float until_s);
+        ]
+  | Faults.Drop { prob; from_s; until_s } ->
+      obj "drop"
+        [ ("prob", J.Float prob); ("from_s", J.Float from_s); ("until_s", J.Float until_s) ]
+  | Faults.Straggle { node; from_s; until_s } ->
+      obj "straggle"
+        [ ("node", J.Int node); ("from_s", J.Float from_s); ("until_s", J.Float until_s) ]
+  | Faults.Slow_link { a; b; extra; from_s; until_s } ->
+      obj "slow_link"
+        [
+          ("a", J.Int a);
+          ("b", J.Int b);
+          ("extra_ns", J.Int extra);
+          ("from_s", J.Float from_s);
+          ("until_s", J.Float until_s);
+        ]
+
+let field name json =
+  match J.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) r f = Result.bind r f
+
+let int_field name json =
+  let* v = field name json in
+  match v with J.Int i -> Ok i | _ -> Error (Printf.sprintf "field %S: expected int" name)
+
+let float_field name json =
+  let* v = field name json in
+  match J.to_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S: expected number" name)
+
+let spec_of_json json =
+  let* kind = field "kind" json in
+  match kind with
+  | J.String "crash" ->
+      let* node = int_field "node" json in
+      let* at_s = float_field "at_s" json in
+      Ok (Faults.Crash { node; at_s })
+  | J.String "recover" ->
+      let* node = int_field "node" json in
+      let* at_s = float_field "at_s" json in
+      Ok (Faults.Recover { node; at_s })
+  | J.String "crash_recover" ->
+      let* node = int_field "node" json in
+      let* at_s = float_field "at_s" json in
+      let* down_s = float_field "down_s" json in
+      Ok (Faults.Crash_recover { node; at_s; down_s })
+  | J.String "isolate" ->
+      let* node = int_field "node" json in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Isolate { node; from_s; until_s })
+  | J.String "split" ->
+      let* minority = field "minority" json in
+      let* minority =
+        match J.to_list minority with
+        | None -> Error "field \"minority\": expected list"
+        | Some items ->
+            List.fold_right
+              (fun item acc ->
+                let* acc = acc in
+                match item with
+                | J.Int i -> Ok (i :: acc)
+                | _ -> Error "field \"minority\": expected ints")
+              items (Ok [])
+      in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Split { minority; from_s; until_s })
+  | J.String "drop" ->
+      let* prob = float_field "prob" json in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Drop { prob; from_s; until_s })
+  | J.String "straggle" ->
+      let* node = int_field "node" json in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Straggle { node; from_s; until_s })
+  | J.String "slow_link" ->
+      let* a = int_field "a" json in
+      let* b = int_field "b" json in
+      let* extra = int_field "extra_ns" json in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Slow_link { a; b; extra; from_s; until_s })
+  | J.String other -> Error (Printf.sprintf "unknown fault kind %S" other)
+  | _ -> Error "field \"kind\": expected string"
+
+let to_json t =
+  J.Obj
+    [
+      ("seed", J.String (Int64.to_string t.seed));
+      ("n", J.Int t.n);
+      ("rate", J.Float t.rate);
+      ("num_clients", J.Int t.num_clients);
+      ("duration_s", J.Float t.duration_s);
+      ("faults", J.List (List.map spec_to_json t.faults));
+    ]
+
+let of_json json =
+  let* seed = field "seed" json in
+  let* seed =
+    match seed with
+    | J.String s -> (
+        match Int64.of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error "field \"seed\": expected int64 string")
+    | J.Int i -> Ok (Int64.of_int i)
+    | _ -> Error "field \"seed\": expected string or int"
+  in
+  let* n = int_field "n" json in
+  let* rate = float_field "rate" json in
+  let* num_clients = int_field "num_clients" json in
+  let* duration_s = float_field "duration_s" json in
+  let* faults = field "faults" json in
+  let* faults =
+    match J.to_list faults with
+    | None -> Error "field \"faults\": expected list"
+    | Some items ->
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            let* spec = spec_of_json item in
+            Ok (spec :: acc))
+          items (Ok [])
+  in
+  let t = { seed; n; rate; num_clients; duration_s; faults } in
+  let* () = validate t in
+  Ok t
+
+let of_string s =
+  let* json = J.of_string s in
+  of_json json
+
+let to_string t = J.to_string (to_json t)
+
+let pp fmt t =
+  Format.fprintf fmt "scenario %s: n=%d rate=%g clients=%d duration=%gs, %a" (name t) t.n
+    t.rate t.num_clients t.duration_s Faults.pp
+    (Faults.make ~name:(name t) t.faults)

@@ -1,0 +1,36 @@
+(** Conformance scenarios (DESIGN.md §9).
+
+    A scenario is the plain-data description of one fuzzed run: cluster
+    size, workload shape (rate, client-pool size, submission window) and a
+    fault/jitter schedule.  [of_seed] derives every choice deterministically
+    from one 64-bit seed; the JSON codec round-trips exactly, so a failing
+    scenario can be committed to [test/conform_corpus/] and replayed
+    bit-identically. *)
+
+type t = {
+  seed : int64;  (** drives the cluster RNG and every fuzzer draw *)
+  n : int;
+  rate : float;  (** offered load, requests/s *)
+  num_clients : int;  (** small pools stress the per-client watermark window *)
+  duration_s : float;  (** submission window; runs extend to heal + grace *)
+  faults : Runner.Faults.spec list;
+}
+
+val of_seed : int64 -> t
+(** Deterministic fuzzer: equal seeds give equal scenarios.  Draws cluster
+    size (4–7), client pool (2–8), rate (60–280 req/s), duration (4–9 s), a
+    sequential fault schedule ({!Runner.Faults.random}; a quarter of seeds
+    run fault-free) and an optional slow-link latency-jitter window. *)
+
+val name : t -> string
+val validate : t -> (unit, string) result
+
+val to_json : t -> Obs.Jsonx.t
+val of_json : Obs.Jsonx.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val spec_to_json : Runner.Faults.spec -> Obs.Jsonx.t
+val spec_of_json : Obs.Jsonx.t -> (Runner.Faults.spec, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** Greedy scenario minimization (DESIGN.md §9).
+
+    Shrinks a failing scenario toward the smallest variant that still fails:
+    drop faults one at a time, move to a 4-node cluster, halve the duration,
+    halve fault windows, halve the load, halve the client pool.  Every
+    candidate is re-checked with the same instrumented + bare pair-run that
+    produced the original failure, within a bounded re-run budget. *)
+
+val candidates : Scenario.t -> Scenario.t list
+(** Structurally smaller valid variants, most aggressive first. *)
+
+val minimize : ?budget:int -> Scenario.t -> still_fails:(Scenario.t -> bool) -> Scenario.t
+(** Greedy descent: adopt the first candidate for which [still_fails] holds;
+    stop when none does or after [budget] (default 48) re-runs. *)
+
+val minimize_failure : ?budget:int -> Harness.failure -> Harness.failure
+(** Minimize a harness failure; the result carries the shrunk scenario and
+    its (re-derived) violation message, ready for {!Harness.save_repro}. *)

@@ -181,6 +181,16 @@ let cut t ~max =
   done;
   Array.of_list (List.rev !out)
 
+let clear t =
+  (* Keep [last_seq] (arrival keys keep increasing across the clear) and the
+     observability counters; only the pending contents go. *)
+  t.head <- 0;
+  t.tail <- 0;
+  t.buf <- Array.make initial_capacity { s_seq = -1; s_req = None };
+  Hashtbl.reset t.by_id;
+  t.resurrected <- [];
+  t.count <- 0
+
 let iter f t =
   (* Iterate in sequence order: merge buffer and resurrected list. *)
   let res = ref t.resurrected in

@@ -53,4 +53,9 @@ val cut : t -> max:int -> Proto.Request.t array
 val oldest_seq : t -> int option
 (** Arrival key of the oldest pending request (for age-based batching). *)
 
+val clear : t -> unit
+(** Drop every pending request (checkpoint jump: the queue may hold requests
+    already delivered in the skipped history).  Arrival-key monotonicity and
+    the observability counters survive. *)
+
 val iter : (Proto.Request.t -> unit) -> t -> unit

@@ -26,6 +26,7 @@ type t = {
   backoff_decrease : int;
   cpu_parallelism : int;
   strict_validation : bool;
+  log_retention_epochs : int;
 }
 
 let num_buckets t = t.buckets_per_leader * t.n
@@ -55,6 +56,7 @@ let base ~n ~protocol =
     backoff_decrease = 1;
     cpu_parallelism = 32;
     strict_validation = true;
+    log_retention_epochs = 4;
   }
 
 (* Table 1 presets. *)
@@ -101,6 +103,7 @@ let validate t =
   else if t.epoch_change_timeout <= 0 then fail "epoch_change_timeout must be positive"
   else if t.client_watermark_window <= 0 then fail "client_watermark_window must be positive"
   else if t.cpu_parallelism <= 0 then fail "cpu_parallelism must be positive"
+  else if t.log_retention_epochs <= 0 then fail "log_retention_epochs must be positive"
   else if (match t.batch_rate with Some r -> r <= 0.0 | None -> false) then
     fail "batch_rate must be positive when set"
   else begin

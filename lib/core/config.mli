@@ -56,6 +56,12 @@ type t = {
           skipping them removes the dominant per-request simulation cost
           (the {e simulated} CPU cost of verification is charged either
           way). *)
+  log_retention_epochs : int;
+      (** How many epochs of committed log entries a node keeps below its
+          newest stable checkpoint before GC prunes them ({!Log.prune}).
+          Bounds log memory in long runs; must cover the longest expected
+          recovery lag, since pruned epochs can no longer be served to a
+          catching-up peer via state transfer. *)
 }
 
 val num_buckets : t -> int

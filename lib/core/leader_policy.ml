@@ -98,6 +98,45 @@ let leaders t ~epoch:_ =
       done;
       Array.of_list !out
 
+(* Canonical textual snapshot of the mutable policy state.  Deterministic
+   from the log at every correct node, so checkpoint signatures can cover it
+   and a node adopting a checkpoint without replaying history can [restore]
+   it.  Stateless policies snapshot to their kind alone. *)
+let ints_to_csv a = String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let csv_to_ints s =
+  if s = "" then [||]
+  else Array.of_list (List.map int_of_string (String.split_on_char ',' s))
+
+let snapshot t =
+  match t.state with
+  | Simple -> "simple"
+  | Fixed leaders -> "fixed:" ^ ints_to_csv leaders
+  | Backoff { penalty; _ } -> "backoff:" ^ ints_to_csv penalty
+  | Blacklist { last_failure; _ } -> "blacklist:" ^ ints_to_csv last_failure
+  | Straggler_aware { last_failure; _ } -> "straggler:" ^ ints_to_csv last_failure
+
+let restore t s =
+  let fail () = invalid_arg (Printf.sprintf "Leader_policy.restore: snapshot %S does not match the configured policy" s) in
+  let payload prefix =
+    let p = prefix ^ ":" in
+    let pl = String.length p in
+    if String.length s >= pl && String.sub s 0 pl = p then
+      String.sub s pl (String.length s - pl)
+    else fail ()
+  in
+  let restore_into dst prefix =
+    let src = try csv_to_ints (payload prefix) with _ -> fail () in
+    if Array.length src <> Array.length dst then fail ();
+    Array.blit src 0 dst 0 (Array.length src)
+  in
+  match t.state with
+  | Simple -> if s <> "simple" then fail ()
+  | Fixed _ -> ignore (payload "fixed")  (* immutable; kind check only *)
+  | Backoff { penalty; _ } -> restore_into penalty "backoff"
+  | Blacklist { last_failure; _ } -> restore_into last_failure "blacklist"
+  | Straggler_aware { last_failure; _ } -> restore_into last_failure "straggler"
+
 let is_banned t node =
   match t.state with
   | Simple -> false

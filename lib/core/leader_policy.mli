@@ -46,6 +46,17 @@ val leaders : t -> epoch:int -> Proto.Ids.node_id array
     BACKOFF (the paper: ISS skips such epochs); never empty under SIMPLE or
     BLACKLIST. *)
 
+val snapshot : t -> string
+(** Canonical textual snapshot of the policy's mutable state.  Identical at
+    every correct node at the same epoch boundary (the state is a pure
+    function of the log), so it can be covered by checkpoint signatures. *)
+
+val restore : t -> string -> unit
+(** Overwrite the policy state with a {!snapshot} taken at the same policy
+    kind and cluster size.  Raises [Invalid_argument] on a mismatched
+    snapshot.  Used when a node adopts a checkpoint without replaying the
+    epochs that produced the state. *)
+
 val is_banned : t -> Proto.Ids.node_id -> bool
 (** Whether the node would be excluded from the next epoch's leader set
     (introspection for tests and metrics). *)

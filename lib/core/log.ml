@@ -8,12 +8,24 @@ type t = {
   entries : (int, Proto.Proposal.t) Hashtbl.t;
   mutable first_undelivered : int;
   mutable total_delivered : int;
+  mutable pruned_below : int;  (* lowest sn still retained; all below pruned *)
 }
 
 let create () =
-  { entries = Hashtbl.create 1024; first_undelivered = 0; total_delivered = 0 }
+  {
+    entries = Hashtbl.create 1024;
+    first_undelivered = 0;
+    total_delivered = 0;
+    pruned_below = 0;
+  }
 
 let commit t ~sn proposal =
+  if sn < t.pruned_below then
+    (* A late (re)commit of a position GC already pruned: the entry was
+       delivered and discarded; re-inserting it would corrupt the
+       committed-ahead accounting and slowly resurrect the pruned prefix. *)
+    false
+  else
   match Hashtbl.find_opt t.entries sn with
   | Some existing ->
       if Iss_crypto.Hash.equal (Proto.Proposal.digest existing) (Proto.Proposal.digest proposal)
@@ -33,10 +45,41 @@ let first_undelivered t = t.first_undelivered
 
 let total_delivered t = t.total_delivered
 
-(* Entries are never removed and delivery requires a contiguous committed
-   prefix, so every position below the frontier is in [entries]; the
-   difference counts positions committed ahead of it. *)
-let committed_ahead t = Hashtbl.length t.entries - t.first_undelivered
+(* Delivery requires a contiguous committed prefix, so every retained
+   position below the frontier — there are [first_undelivered -
+   pruned_below] of them — is in [entries]; the difference counts positions
+   committed ahead of the frontier. *)
+let committed_ahead t =
+  Hashtbl.length t.entries - (t.first_undelivered - t.pruned_below)
+
+let pruned_below t = t.pruned_below
+
+let prune t ~below_sn =
+  (* Only delivered positions may go: entries at or past the frontier are
+     still needed to deliver the contiguous prefix. *)
+  let cut = min below_sn t.first_undelivered in
+  let removed = ref 0 in
+  for sn = t.pruned_below to cut - 1 do
+    if Hashtbl.mem t.entries sn then begin
+      Hashtbl.remove t.entries sn;
+      incr removed
+    end
+  done;
+  if cut > t.pruned_below then t.pruned_below <- cut;
+  !removed
+
+let jump t ~to_sn ~total_delivered =
+  if to_sn > t.first_undelivered then begin
+    (* Discard everything below the checkpoint (delivered or not — the
+       quorum certificate supersedes it); entries committed ahead of the
+       checkpoint stay and deliver normally once the frontier resumes. *)
+    for sn = t.pruned_below to to_sn - 1 do
+      Hashtbl.remove t.entries sn
+    done;
+    t.pruned_below <- to_sn;
+    t.first_undelivered <- to_sn;
+    t.total_delivered <- total_delivered
+  end
 
 let deliver_ready t ~on_batch =
   let delivered = ref 0 in

@@ -21,7 +21,9 @@ val commit : t -> sn:int -> Proto.Proposal.t -> bool
     position is already filled — SB agreement makes double commits carry
     equal values, so dropping them is safe; disagreeing double commits
     raise [Invalid_argument] (they would mean an SB violation and tests
-    want to hear about it). *)
+    want to hear about it).  Positions below {!pruned_below} are likewise
+    dropped: they were delivered (or checkpoint-skipped) and GC'd, and a
+    late retransmission must not resurrect them. *)
 
 val get : t -> sn:int -> Proto.Proposal.t option
 
@@ -35,7 +37,28 @@ val total_delivered : t -> int
 val committed_ahead : t -> int
 (** Positions committed at or beyond the delivery frontier — the commit
     queue depth the observability layer reports (batches waiting for a gap
-    to fill before they can be delivered). *)
+    to fill before they can be delivered).  Robust to pruning. *)
+
+val prune : t -> below_sn:int -> int
+(** Drop entries below [below_sn] (clamped to the delivery frontier — only
+    delivered positions are removable).  Returns the number of entries
+    removed.  Node GC calls this for positions covered by an old-enough
+    stable checkpoint, keeping long-running logs bounded; [get],
+    [range_complete] and friends simply report pruned positions as absent
+    (state transfer then declines to serve those epochs). *)
+
+val pruned_below : t -> int
+(** Lowest sequence number still retained; every position below it has been
+    pruned (and was delivered first, or was skipped by a {!jump}). *)
+
+val jump : t -> to_sn:int -> total_delivered:int -> unit
+(** Fast-forward the delivery frontier to [to_sn] without delivering the
+    skipped positions — the caller holds a quorum-signed checkpoint
+    covering them.  [total_delivered] is the checkpoint's cumulative Eq. (2)
+    request count, so numbering resumes exactly where the quorum left it.
+    Skipped positions are discarded ([pruned_below] advances to [to_sn]);
+    positions committed ahead of [to_sn] are kept and deliver normally.
+    No-op when [to_sn] is not ahead of the frontier. *)
 
 val deliver_ready :
   t -> on_batch:(sn:int -> first_request_sn:int -> Proto.Batch.t -> unit) -> int

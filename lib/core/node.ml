@@ -25,6 +25,8 @@ type epoch_state = {
 type cp_vote = {
   v_max_sn : int;
   v_root : Iss_crypto.Hash.t;
+  v_req_count : int;
+  v_policy : string;
   v_sig : Iss_crypto.Signature.signature;
 }
 
@@ -57,6 +59,14 @@ type t = {
   stable_certs : (int, Proto.Message.checkpoint_cert) Hashtbl.t;
   epoch_bounds : (int, int * int) Hashtbl.t;  (* epoch -> (start sn, length) *)
   mutable cpu_free : Time_ns.t;
+  mutable req_cum : int;
+      (* requests delivered through the end of the last finished epoch —
+         finish_epoch maintains it (Eq. (2) cumulative count for checkpoint
+         certificates); a checkpoint jump overwrites it wholesale *)
+  mutable locally_delivered : int;
+      (* requests this node itself delivered — unlike Log.total_delivered it
+         does not jump over state-transferred history, so it is the honest
+         reading for the node.delivered metric *)
   mutable halted : bool;
   mutable straggler : bool;
   mutable st_target : int;  (* rotating state-transfer target *)
@@ -93,7 +103,7 @@ let config t = t.config
 let current_epoch t = t.epoch.e_num
 let log t = t.log
 let is_halted t = t.halted
-let delivered_count t = Log.total_delivered t.log
+let delivered_count t = t.locally_delivered
 let epoch_leaders t = t.epoch.e_leaders
 let bucket_leader t ~bucket = t.epoch.e_bucket_leaders.(bucket)
 let set_straggler t b = t.straggler <- b
@@ -117,12 +127,11 @@ let checkpoint_lag t =
   Stdlib.max 0 (t.epoch.e_num - 1 - best)
 
 let last_stable_checkpoint t =
-  Hashtbl.fold
-    (fun _ (cert : Proto.Message.checkpoint_cert) best ->
-      match best with
-      | Some (b : Proto.Message.checkpoint_cert) when b.cc_epoch >= cert.cc_epoch -> best
-      | _ -> Some cert)
-    t.stable_certs None
+  (* Deterministic by construction: reduce to the maximum epoch key, then
+     look it up.  A fold picking "the" maximal value would depend on hash
+     iteration order if two entries ever compared equal. *)
+  let best = Hashtbl.fold (fun e _ acc -> Stdlib.max e acc) t.stable_certs (-1) in
+  if best < 0 then None else Hashtbl.find_opt t.stable_certs best
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle tracing (DESIGN.md §8).
@@ -485,8 +494,9 @@ let rec process_commit t ~sn proposal ~resurrectable =
           | Some mine -> resurrect t mine
           | None -> ()));
     (* Deliver the contiguous prefix. *)
-    ignore
-      (Log.deliver_ready t.log ~on_batch:(fun ~sn ~first_request_sn batch ->
+    t.locally_delivered <-
+      t.locally_delivered
+      + Log.deliver_ready t.log ~on_batch:(fun ~sn ~first_request_sn batch ->
            (match t.tracer with
            | Some tr ->
                Proto.Batch.iter
@@ -503,7 +513,7 @@ let rec process_commit t ~sn proposal ~resurrectable =
                  (fun k request ->
                    f t { Log.request; request_sn = first_request_sn + k; batch_sn = sn })
                  reqs
-           | None -> ()));
+           | None -> ());
     (* Epoch bookkeeping. *)
     let e = t.epoch in
     if sn >= e.e_start && sn < e.e_start + e.e_len then begin
@@ -548,29 +558,47 @@ and finish_epoch t =
         })
   in
   Leader_policy.epoch_finished t.policy ~epoch:e.e_num ~failed ~stats ();
-  (* Checkpoint (§3.5): sign the Merkle root over the epoch's batches. *)
+  (* Eq. (2) cumulative request count through this epoch's end: the epoch's
+     own total is the per-leader sum just computed.  (Log.total_delivered
+     can already include later epochs' requests when state transfer
+     committed ahead, so it is not usable here.) *)
+  t.req_cum <- t.req_cum + Array.fold_left ( + ) 0 requests;
+  (* Checkpoint (§3.5): sign the Merkle root over the epoch's batches,
+     together with the request count and the leader-policy state — both
+     deterministic from the log, so all correct nodes sign identical
+     material and a lagging node can adopt them wholesale (checkpoint
+     jump) when the history itself has been pruned everywhere.  The policy
+     snapshot is taken before the leaderless-epoch skip below so a restoring
+     node replays the skip itself. *)
   let digests = Log.batch_digests t.log ~from_sn:e.e_start ~to_sn:(e.e_start + e.e_len - 1) in
   let root = Iss_crypto.Merkle.root digests in
   let max_sn = e.e_start + e.e_len - 1 in
-  let material = Proto.Message.checkpoint_material ~epoch:e.e_num ~max_sn ~root in
+  let req_count = t.req_cum in
+  let policy = Leader_policy.snapshot t.policy in
+  let material = Proto.Message.checkpoint_material ~epoch:e.e_num ~max_sn ~root ~req_count ~policy in
   let sig_ = Iss_crypto.Signature.sign t.keypair material in
   charge_cpu t Iss_crypto.Signature.sign_cost_ns (fun () -> ());
-  broadcast t (Proto.Message.Checkpoint_msg { epoch = e.e_num; max_sn; root; signer = t.id; sig_ });
+  broadcast t
+    (Proto.Message.Checkpoint_msg
+       { epoch = e.e_num; max_sn; root; req_count; policy; signer = t.id; sig_ });
+  advance_epoch t ~finished:e.e_num ~start_sn:(e.e_start + e.e_len)
+
+and advance_epoch t ~finished ~start_sn =
   (* Find the next epoch with a non-empty leader set (BACKOFF can produce
-     leaderless epochs; the paper skips them). *)
-  let next = ref (e.e_num + 1) in
+     leaderless epochs; the paper skips them), then enter it.  Also the
+     re-entry point after a checkpoint jump. *)
+  let next = ref (finished + 1) in
   let leaders = ref (Leader_policy.leaders t.policy ~epoch:!next) in
   let guard = ref 0 in
   while Array.length !leaders = 0 do
     incr guard;
     if !guard > 100_000 then failwith "Node: leader policy yields no leaders indefinitely";
     Leader_policy.epoch_finished t.policy ~epoch:!next ~failed:[] ();
-    Hashtbl.replace t.epoch_bounds !next (e.e_start + e.e_len, 0);
+    Hashtbl.replace t.epoch_bounds !next (start_sn, 0);
     incr next;
     leaders := Leader_policy.leaders t.policy ~epoch:!next
   done;
   let next = !next and leaders = !leaders in
-  let start_sn = e.e_start + e.e_len in
   let proceed () = start_epoch t ~epoch:next ~start_sn ~leaders in
   match t.hooks.epoch_gate with
   | Some gate -> gate t ~epoch:next proceed
@@ -685,8 +713,8 @@ and make_ctx t (seg : Segment.t) : Orderer_intf.ctx =
 (* ------------------------------------------------------------------ *)
 (* Checkpoints (§3.5) *)
 
-and handle_checkpoint t ~epoch ~max_sn ~root ~signer ~sig_ =
-  let material = Proto.Message.checkpoint_material ~epoch ~max_sn ~root in
+and handle_checkpoint t ~epoch ~max_sn ~root ~req_count ~policy ~signer ~sig_ =
+  let material = Proto.Message.checkpoint_material ~epoch ~max_sn ~root ~req_count ~policy in
   if Iss_crypto.Signature.verify (Iss_crypto.Signature.public_of_id signer) material sig_ then begin
     let cp =
       match Hashtbl.find_opt t.checkpoints epoch with
@@ -697,20 +725,37 @@ and handle_checkpoint t ~epoch ~max_sn ~root ~signer ~sig_ =
           cp
     in
     if not (Hashtbl.mem cp.cp_votes signer) then begin
-      Hashtbl.replace cp.cp_votes signer { v_max_sn = max_sn; v_root = root; v_sig = sig_ };
+      Hashtbl.replace cp.cp_votes signer
+        { v_max_sn = max_sn; v_root = root; v_req_count = req_count; v_policy = policy; v_sig = sig_ };
       if not cp.cp_stable then begin
         let matching =
           Hashtbl.fold
             (fun node v acc ->
-              if v.v_max_sn = max_sn && Iss_crypto.Hash.equal v.v_root root then
-                (node, v.v_sig) :: acc
+              if
+                v.v_max_sn = max_sn
+                && Iss_crypto.Hash.equal v.v_root root
+                && v.v_req_count = req_count && v.v_policy = policy
+              then (node, v.v_sig) :: acc
               else acc)
             cp.cp_votes []
         in
         if List.length matching >= cp_quorum t then begin
           cp.cp_stable <- true;
+          (* Sort the certificate's signer list by node id: [matching] came
+             out of a Hashtbl fold whose order reflects each node's own
+             vote-arrival history, and the certificate travels (state
+             transfer) — downstream choices such as {!pick_st_target} must
+             not inherit a per-node-history order. *)
+          let matching = List.sort (fun (a, _) (b, _) -> compare a b) matching in
           Hashtbl.replace t.stable_certs epoch
-            { Proto.Message.cc_epoch = epoch; cc_max_sn = max_sn; cc_root = root; cc_sigs = matching };
+            {
+              Proto.Message.cc_epoch = epoch;
+              cc_max_sn = max_sn;
+              cc_root = root;
+              cc_req_count = req_count;
+              cc_policy = policy;
+              cc_sigs = matching;
+            };
           gc_stable t
         end
       end
@@ -733,7 +778,51 @@ and gc_stable t =
       | Some inst -> Orderer_intf.stop inst
       | None -> ());
       Hashtbl.remove t.orderers instance)
-    !to_remove
+    !to_remove;
+  prune_log t
+
+and prune_log t =
+  (* Prune committed entries of epochs at least [log_retention_epochs]
+     behind the newest stable checkpoint: a quorum signed off on them long
+     ago and recent peers have moved past them, so retaining the full
+     history would grow memory without bound in long runs.  The retained
+     window is what this node can still serve via state transfer; a peer
+     that lagged further behind simply asks the next target.  Proposer-side
+     batch copies ([proposed]) and checkpoint vote accumulators of the
+     pruned epochs go with them. *)
+  let best = Hashtbl.fold (fun e _ acc -> Stdlib.max e acc) t.stable_certs (-1) in
+  let horizon = best - t.config.Config.log_retention_epochs in
+  if horizon >= 0 then begin
+    (* Newest stable certificate at or below the horizon bounds the cut. *)
+    let cut_epoch =
+      Hashtbl.fold
+        (fun e _ acc -> if e <= horizon then Stdlib.max e acc else acc)
+        t.stable_certs (-1)
+    in
+    if cut_epoch >= 0 then begin
+      let cert = Hashtbl.find t.stable_certs cut_epoch in
+      (* Never prune into the current epoch: [finish_epoch] still reads the
+         whole range for statistics and the checkpoint Merkle root, and a
+         lagging node can hold stable certificates for epochs at or ahead
+         of the one it is working in ([Log.prune] additionally clamps to
+         the delivery frontier). *)
+      let cut_sn = min (cert.Proto.Message.cc_max_sn + 1) t.epoch.e_start in
+      if Log.pruned_below t.log < min cut_sn (Log.first_undelivered t.log) then begin
+        ignore (Log.prune t.log ~below_sn:cut_sn);
+        let cut_sn = Log.pruned_below t.log in
+        let stale_sns =
+          Hashtbl.fold (fun sn _ acc -> if sn < cut_sn then sn :: acc else acc) t.proposed []
+        in
+        List.iter (Hashtbl.remove t.proposed) stale_sns;
+        let stale_epochs =
+          Hashtbl.fold
+            (fun e _ acc -> if e <= cut_epoch then e :: acc else acc)
+            t.checkpoints []
+        in
+        List.iter (Hashtbl.remove t.checkpoints) stale_epochs
+      end
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* State transfer (§3.5) *)
@@ -749,18 +838,14 @@ and arm_lag_check t =
               nothing for long-finished epochs, so a laggard typically only
               collects certificates of newer epochs) — fetch the log
               instead of waiting. *)
-           let evidence =
+           let best =
              Hashtbl.fold
-               (fun e cert best ->
-                 if e >= epoch_at_arm then
-                   match best with
-                   | Some (be, _) when be >= e -> best
-                   | _ -> Some (e, cert)
-                 else best)
-               t.stable_certs None
+               (fun e _ acc -> if e >= epoch_at_arm then Stdlib.max e acc else acc)
+               t.stable_certs (-1)
            in
+           let evidence = if best < 0 then None else Hashtbl.find_opt t.stable_certs best in
            match evidence with
-           | Some (_, cert) ->
+           | Some cert ->
                let target = pick_st_target t cert in
                send t ~dst:target (Proto.Message.State_request { from_sn = t.epoch.e_start });
                arm_lag_check t
@@ -768,8 +853,13 @@ and arm_lag_check t =
          end))
 
 and pick_st_target t (cert : Proto.Message.checkpoint_cert) =
-  let signers = Array.of_list (List.map fst cert.cc_sigs) in
-  let signers = Array.of_list (List.filter (fun s -> s <> t.id) (Array.to_list signers)) in
+  (* Explicitly sort by node id: certificates built before signer lists were
+     canonicalized (or received from such a node) carry fold-ordered
+     signers, and the rotation below must not depend on that history. *)
+  let signers =
+    List.sort_uniq compare (List.filter (fun s -> s <> t.id) (List.map fst cert.cc_sigs))
+  in
+  let signers = Array.of_list signers in
   if Array.length signers = 0 then (t.id + 1) mod t.config.Config.n
   else begin
     t.st_target <- t.st_target + 1;
@@ -778,9 +868,39 @@ and pick_st_target t (cert : Proto.Message.checkpoint_cert) =
 
 and handle_state_request t ~src ~from_sn =
   (* Answer with every stable epoch that covers [from_sn] onwards, each as a
-     self-contained (entries, certificate) pair. *)
-  Hashtbl.iter
-    (fun epoch (cert : Proto.Message.checkpoint_cert) ->
+     self-contained (entries, certificate) pair, in epoch order — iterating
+     the Hashtbl directly would put replies on the wire in an
+     insertion-history order that differs across nodes.  Epochs pruned from
+     the log ({!Log.prune}) fail [range_complete] and are skipped. *)
+  let epochs = Hashtbl.fold (fun e _ acc -> e :: acc) t.stable_certs [] in
+  (* When GC already pruned part of what the requester asks for, no amount
+     of target rotation can recover it once every peer has pruned too.
+     Offer a checkpoint snapshot first (an entry-less reply): the oldest
+     stable certificate whose successor position we still retain, so the
+     requester loses as little history as possible and the entry replies
+     below connect seamlessly.  Sent before the entries so the requester
+     jumps, then fills in from there. *)
+  let pruned = Log.pruned_below t.log in
+  if from_sn < pruned then begin
+    let jump_cert =
+      List.fold_left
+        (fun acc e ->
+          let cert = Hashtbl.find t.stable_certs e in
+          if cert.Proto.Message.cc_max_sn + 1 >= pruned then
+            match acc with
+            | Some (best : Proto.Message.checkpoint_cert) when best.cc_max_sn <= cert.cc_max_sn ->
+                acc
+            | Some _ | None -> Some cert
+          else acc)
+        None (List.sort compare epochs)
+    in
+    match jump_cert with
+    | Some cert -> send t ~dst:src (Proto.Message.State_reply { entries = []; cert })
+    | None -> ()
+  end;
+  List.iter
+    (fun epoch ->
+      let cert = Hashtbl.find t.stable_certs epoch in
       match Hashtbl.find_opt t.epoch_bounds epoch with
       | Some (start, len) when len > 0 && start + len - 1 >= from_sn ->
           if Log.range_complete t.log ~from_sn:start ~to_sn:(start + len - 1) then begin
@@ -794,14 +914,14 @@ and handle_state_request t ~src ~from_sn =
             send t ~dst:src (Proto.Message.State_reply { entries; cert })
           end
       | Some _ | None -> ())
-    t.stable_certs
+    (List.sort compare epochs)
 
 and handle_state_reply t ~entries ~(cert : Proto.Message.checkpoint_cert) =
   (* Verify the certificate: a quorum of valid signatures over the announced
      root, and the entries actually hash to that root. *)
   let material =
     Proto.Message.checkpoint_material ~epoch:cert.cc_epoch ~max_sn:cert.cc_max_sn
-      ~root:cert.cc_root
+      ~root:cert.cc_root ~req_count:cert.cc_req_count ~policy:cert.cc_policy
   in
   let valid_sigs =
     List.filter
@@ -811,6 +931,9 @@ and handle_state_reply t ~entries ~(cert : Proto.Message.checkpoint_cert) =
   in
   let distinct = List.sort_uniq compare (List.map fst valid_sigs) in
   if List.length distinct >= cp_quorum t then begin
+    match entries with
+    | [] -> jump_to_checkpoint t cert
+    | _ :: _ ->
     let sorted = List.sort (fun (a, _) (b, _) -> compare a b) entries in
     let digests = Array.of_list (List.map (fun (_, p) -> Proto.Proposal.digest p) sorted) in
     let contiguous =
@@ -836,6 +959,53 @@ and handle_state_reply t ~entries ~(cert : Proto.Message.checkpoint_cert) =
     end
   end
 
+and jump_to_checkpoint t (cert : Proto.Message.checkpoint_cert) =
+  (* Adopt a quorum-signed checkpoint without the history behind it: the
+     serving peer (and, transitively, everyone) pruned those epochs, so
+     replay is impossible.  Fast-forward everything the skipped epochs
+     would have produced: log frontier, Eq. (2) request numbering and the
+     leader-policy state (all covered by the certificate's signatures),
+     then re-enter the epoch machinery right after the checkpoint.
+
+     The caller verified the quorum.  Per-client watermark floors cannot be
+     reconstructed (the skipped requests are gone); they self-heal through
+     the ring-overflow degrade path as post-jump deliveries arrive, which
+     only makes this node temporarily stricter/looser as a validator —
+     never a source of double delivery (the log positions themselves stay
+     exactly-once). *)
+  let to_sn = cert.Proto.Message.cc_max_sn + 1 in
+  if to_sn > Log.first_undelivered t.log then begin
+    Log.jump t.log ~to_sn ~total_delivered:cert.cc_req_count;
+    t.req_cum <- cert.cc_req_count;
+    Leader_policy.restore t.policy cert.cc_policy;
+    Hashtbl.replace t.stable_certs cert.cc_epoch cert;
+    (* Everything buffered before the jump refers to skipped history:
+       in-flight proposals, per-epoch vote accumulators and the orderer
+       instances of abandoned epochs (all instances are from epochs <= the
+       certificate's — later ones cannot have started yet).  Queued client
+       requests may include ones delivered in the skipped range; clients
+       whose requests reached their reply quorum stop retransmitting, so
+       dropping the queues loses nothing that retransmission or another
+       leader does not recover. *)
+    Hashtbl.iter (fun _ inst -> Orderer_intf.stop inst) t.orderers;
+    Hashtbl.reset t.orderers;
+    Hashtbl.reset t.proposed;
+    Hashtbl.reset t.seen_proposed;
+    Hashtbl.reset t.arrival_seq;
+    Array.iter Bucket_queue.clear t.buckets;
+    let stale_epochs =
+      Hashtbl.fold
+        (fun e _ acc -> if e <= cert.cc_epoch then e :: acc else acc)
+        t.checkpoints []
+    in
+    List.iter (Hashtbl.remove t.checkpoints) stale_epochs;
+    List.iter
+      (fun b -> match b.timer with Some timer -> Engine.cancel t.engine timer | None -> ())
+      t.my_batchers;
+    t.my_batchers <- [];
+    advance_epoch t ~finished:cert.cc_epoch ~start_sn:to_sn
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Message dispatch *)
 
@@ -843,8 +1013,8 @@ and handle_message t ~src msg =
   if not t.halted then begin
     match msg with
     | Proto.Message.Request_msg r -> submit t r
-    | Proto.Message.Checkpoint_msg { epoch; max_sn; root; signer; sig_ } ->
-        handle_checkpoint t ~epoch ~max_sn ~root ~signer ~sig_
+    | Proto.Message.Checkpoint_msg { epoch; max_sn; root; req_count; policy; signer; sig_ } ->
+        handle_checkpoint t ~epoch ~max_sn ~root ~req_count ~policy ~signer ~sig_
     | Proto.Message.State_request { from_sn } -> handle_state_request t ~src ~from_sn
     | Proto.Message.State_reply { entries; cert } -> handle_state_reply t ~entries ~cert
     | Proto.Message.Pbft { instance; _ }
@@ -923,6 +1093,8 @@ let create ~config ~id ~engine ~send:raw_send ~orderer_factory ?(hooks = default
       stable_certs = Hashtbl.create 16;
       epoch_bounds = Hashtbl.create 16;
       cpu_free = Time_ns.zero;
+      req_cum = 0;
+      locally_delivered = 0;
       halted = false;
       straggler = false;
       st_target = 0;

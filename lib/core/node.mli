@@ -112,6 +112,11 @@ val checkpoint_lag : t -> int
     epoch it is working in; 0 when fully caught up. *)
 
 val delivered_count : t -> int
+(** Requests this node itself delivered.  Not [Log.total_delivered]: a
+    checkpoint jump fast-forwards the log's cumulative count over
+    state-transferred history this node never executed, which must not be
+    reported as the node's own deliveries. *)
+
 val last_stable_checkpoint : t -> Proto.Message.checkpoint_cert option
 val epoch_leaders : t -> Proto.Ids.node_id array
 (** Leaders of the node's current epoch. *)

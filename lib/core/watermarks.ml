@@ -6,9 +6,12 @@
    timestamps to [floor + window), and floors across nodes diverge by at
    most the in-flight window, so [capacity = 4 * window] comfortably covers
    every timestamp that can be delivered while its bit is still in range.
-   The rare overflow falls back to treating the timestamp as delivered only
-   via floor advancement (safe: false-negative [delivered] only risks a
-   duplicate proposal attempt, which validation rejects elsewhere). *)
+   The rare overflow advances the floor to keep the triggering timestamp in
+   range, clearing the ring slots whose timestamps fell below the new floor
+   (stale bits would alias fresh timestamps and answer false-positive
+   [delivered], silently suppressing live requests).  Timestamps forced
+   below the floor read as delivered, which only risks suppressing a
+   duplicate proposal attempt — never a double delivery. *)
 
 type client_state = {
   mutable floor : int;
@@ -56,11 +59,33 @@ let note_delivered t (id : Proto.Request.id) =
         s.floor <- s.floor + 1
       done
     end
-    else
+    else begin
       (* Out of ring range (cannot happen while acceptance windows hold);
-         degrade safely by advancing the floor — everything below is forced
-         delivered, which can only suppress, never duplicate. *)
-      s.floor <- id.ts + 1 - t.capacity
+         degrade safely by advancing the floor — everything below the new
+         floor is forced delivered, which can only suppress, never
+         duplicate.  Bits for timestamps that fall below the new floor are
+         stale: their ring slots now alias timestamps of the new window, so
+         a leftover bit would answer a false-positive [delivered] for a
+         fresh timestamp and silently suppress it forever.  Clear exactly
+         those slots; bits in the surviving overlap keep denoting the same
+         timestamp and stay. *)
+      let new_floor = id.ts + 1 - t.capacity in
+      let stale = new_floor - s.floor in
+      if stale >= t.capacity then Bytes.fill s.bits 0 (Bytes.length s.bits) '\000'
+      else
+        for ts = s.floor to s.floor + stale - 1 do
+          set_bit t s ts false
+        done;
+      s.floor <- new_floor;
+      (* Record the delivery that triggered the degrade (the old code lost
+         it: the new floor sits below [id.ts], so without its bit the id
+         would read as not-delivered and could be delivered twice). *)
+      set_bit t s id.ts true;
+      while get_bit t s s.floor do
+        set_bit t s s.floor false;
+        s.floor <- s.floor + 1
+      done
+    end
 
 let delivered t (id : Proto.Request.id) =
   match Hashtbl.find_opt t.clients id.client with

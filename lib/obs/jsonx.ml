@@ -34,12 +34,12 @@ let rec to_buffer buf = function
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
       if Float.is_finite f then begin
-        (* %.17g roundtrips but is noisy; prefer the shortest of %.12g that
-           still reads back as a float. *)
+        (* %.17g roundtrips but is noisy; prefer %.12g when it still reads
+           back as the same float. *)
         let s = Printf.sprintf "%.12g" f in
-        Buffer.add_string buf s;
+        let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+        Buffer.add_string buf s
         (* "1e+06" is valid JSON; bare "1" for 1.0 is too (a JSON number). *)
-        ()
       end
       else Buffer.add_string buf "null"
   | String s -> escape buf s

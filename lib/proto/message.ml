@@ -2,6 +2,14 @@ type checkpoint_cert = {
   cc_epoch : int;
   cc_max_sn : int;
   cc_root : Iss_crypto.Hash.t;
+  cc_req_count : int;
+      (** requests delivered through [cc_max_sn] (Eq. (2) cumulative count) —
+          lets a node that adopts the checkpoint without replaying history
+          resume per-request sequence numbering where the quorum left it *)
+  cc_policy : string;
+      (** leader-policy snapshot ({!Core.Leader_policy.snapshot}) as of the
+          end of [cc_epoch] — identical at every correct node, so it is part
+          of the signed material and a catching-up node can restore it *)
   cc_sigs : (Ids.node_id * Iss_crypto.Signature.signature) list;
 }
 
@@ -13,6 +21,8 @@ type t =
       epoch : int;
       max_sn : int;
       root : Iss_crypto.Hash.t;
+      req_count : int;
+      policy : string;
       signer : Ids.node_id;
       sig_ : Iss_crypto.Signature.signature;
     }
@@ -24,16 +34,20 @@ type t =
   | Raft of Raft_msg.t
   | Mir_epoch_change of { epoch : int; primary : Ids.node_id }
 
-let checkpoint_material ~epoch ~max_sn ~root =
-  Printf.sprintf "checkpoint:%d:%d:%s" epoch max_sn (Iss_crypto.Hash.to_hex root)
+let checkpoint_material ~epoch ~max_sn ~root ~req_count ~policy =
+  Printf.sprintf "checkpoint:%d:%d:%s:%d:%s" epoch max_sn (Iss_crypto.Hash.to_hex root)
+    req_count policy
 
-let cert_size cert = 24 + Iss_crypto.Hash.size + (List.length cert.cc_sigs * (8 + Iss_crypto.Signature.wire_size))
+let cert_size cert =
+  32 + Iss_crypto.Hash.size + String.length cert.cc_policy
+  + (List.length cert.cc_sigs * (8 + Iss_crypto.Signature.wire_size))
 
 let wire_size = function
   | Request_msg r -> Request.wire_size r
   | Reply _ -> 32
   | Bucket_update { bucket_leaders; _ } -> 16 + (Array.length bucket_leaders * 4)
-  | Checkpoint_msg _ -> 24 + Iss_crypto.Hash.size + Iss_crypto.Signature.wire_size
+  | Checkpoint_msg { policy; _ } ->
+      32 + Iss_crypto.Hash.size + String.length policy + Iss_crypto.Signature.wire_size
   | State_request _ -> 16
   | State_reply { entries; cert } ->
       cert_size cert
@@ -52,6 +66,8 @@ let pp fmt = function
   | Checkpoint_msg { epoch; max_sn; signer; _ } ->
       Format.fprintf fmt "checkpoint(e%d,sn%d) from n%d" epoch max_sn signer
   | State_request { from_sn } -> Format.fprintf fmt "state-request(sn%d..)" from_sn
+  | State_reply { entries = []; cert } ->
+      Format.fprintf fmt "state-snapshot(e%d,sn%d)" cert.cc_epoch cert.cc_max_sn
   | State_reply { entries; _ } -> Format.fprintf fmt "state-reply(%d entries)" (List.length entries)
   | Fd_heartbeat -> Format.pp_print_string fmt "heartbeat"
   | Pbft m -> Pbft_msg.pp fmt m

@@ -8,6 +8,15 @@ type checkpoint_cert = {
   cc_epoch : int;
   cc_max_sn : int;
   cc_root : Iss_crypto.Hash.t;
+  cc_req_count : int;
+      (** requests delivered through [cc_max_sn] — the Eq. (2) cumulative
+          count, so a node adopting the checkpoint without replaying the
+          pruned history resumes per-request numbering where the quorum
+          left it *)
+  cc_policy : string;
+      (** leader-policy snapshot ({!Core.Leader_policy.snapshot}) as of the
+          end of [cc_epoch]; deterministic from the log, hence identical at
+          every correct node and safely part of the signed material *)
   cc_sigs : (Ids.node_id * Iss_crypto.Signature.signature) list;
       (** 2f+1 matching CHECKPOINT signatures (paper §3.5) *)
 }
@@ -23,12 +32,19 @@ type t =
       epoch : int;
       max_sn : int;
       root : Iss_crypto.Hash.t;
+      req_count : int;
+      policy : string;
       signer : Ids.node_id;
       sig_ : Iss_crypto.Signature.signature;
     }
   | State_request of { from_sn : int }
       (** lagging node → any node: fetch missing log entries *)
   | State_reply of { entries : (int * Proposal.t) list; cert : checkpoint_cert }
+      (** [entries = \[\]] is a {e checkpoint snapshot}: the server no longer
+          retains the requested history (log GC pruned it), so instead of
+          entries it offers the quorum-signed certificate; the requester
+          fast-forwards its log frontier, request numbering and leader
+          policy to the checkpoint and rejoins from there *)
   | Fd_heartbeat  (** failure-detector liveness beacon *)
   | Pbft of Pbft_msg.t
   | Hotstuff of Hotstuff_msg.t
@@ -36,7 +52,8 @@ type t =
   | Mir_epoch_change of { epoch : int; primary : Ids.node_id }
       (** Mir-BFT model: epoch-primary configuration announcement *)
 
-val checkpoint_material : epoch:int -> max_sn:int -> root:Iss_crypto.Hash.t -> string
+val checkpoint_material :
+  epoch:int -> max_sn:int -> root:Iss_crypto.Hash.t -> req_count:int -> policy:string -> string
 (** Canonical bytes a CHECKPOINT signature covers. *)
 
 val wire_size : t -> int

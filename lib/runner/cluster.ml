@@ -45,6 +45,9 @@ type t = {
   delivered_ids : (int, unit) Hashtbl.t;  (* request id keys, when tracked *)
   mutable invariants : invariant_state option;
   tracer : Obs.Tracer.t option;
+  mutable delivery_observer :
+    (node:int -> sn:int -> first_request_sn:int -> Proto.Batch.t -> unit) option;
+  mutable submission_observer : (Proto.Request.t -> unit) option;
 }
 
 let engine t = t.engine
@@ -57,8 +60,12 @@ let submitted t = t.submitted
 let reply_quorum t = t.reply_quorum
 let tracer t = t.tracer
 
+let set_delivery_observer t f = t.delivery_observer <- Some f
+let set_submission_observer t f = t.submission_observer <- Some f
+
 let note_submitted t (req : Proto.Request.t) =
   t.submitted <- t.submitted + 1;
+  (match t.submission_observer with Some f -> f req | None -> ());
   match t.invariants with
   | Some inv -> Hashtbl.replace inv.inv_submitted (Proto.Request.id_key req.Proto.Request.id) req
   | None -> ()
@@ -162,6 +169,8 @@ let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~s
       delivered_ids = Hashtbl.create 4096;
       invariants = None;
       tracer;
+      delivery_observer = None;
+      submission_observer = None;
     }
   in
   (* Measurement hook: when the [reply_quorum]-th node's delivery frontier
@@ -170,6 +179,9 @@ let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~s
      throughput. *)
   let on_batch_deliver node ~sn ~first_request_sn batch =
     let node_id = Core.Node.id node in
+    (match t.delivery_observer with
+    | Some f -> f ~node:node_id ~sn ~first_request_sn batch
+    | None -> ());
     (* Invariant checking (chaos harness; off unless enabled).  Violations
        raise immediately, aborting the simulation with a readable report. *)
     (match t.invariants with

@@ -116,6 +116,17 @@ val tracer : t -> Obs.Tracer.t option
 val client_datacenter : t -> client:int -> int
 (** Placement of a virtual client (round-robin over the datacenters). *)
 
+val set_delivery_observer :
+  t -> (node:int -> sn:int -> first_request_sn:int -> Proto.Batch.t -> unit) -> unit
+(** Install a hook called on {e every} per-node batch delivery (before the
+    quorum accounting).  The conformance harness records the complete
+    per-node delivered sequences through this; at most one observer. *)
+
+val set_submission_observer : t -> (Proto.Request.t -> unit) -> unit
+(** Install a hook called for every workload-submitted request (from
+    {!note_submitted}).  The conformance harness builds its reference
+    workload set through this; at most one observer. *)
+
 val enable_delivery_tracking : t -> unit
 (** Track per-request delivery (needed by the workload's resubmission
     sweeper in fault experiments; off by default to keep huge fault-free

@@ -1,0 +1,278 @@
+(* Conformance subsystem: scenario fuzzer/codec, differential checker,
+   shrinker, and replay of the committed regression corpus.
+
+   The corpus files in [conform_corpus/] are minimized repros of real bugs
+   the fuzzer found; each is replayed bit-identically here (the fixes must
+   keep them green).  A fault-free fixed seed also runs the full pipeline —
+   three protocols, instrumented + bare with fingerprint equality — so
+   tier-1 exercises the same path as [iss_sim conform]. *)
+
+module Scenario = Conform.Scenario
+module Checker = Conform.Checker
+module Harness = Conform.Harness
+module Shrink = Conform.Shrink
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario fuzzer + JSON codec *)
+
+let test_scenario_roundtrip () =
+  for k = 1 to 30 do
+    let sc = Scenario.of_seed (Int64.of_int k) in
+    check_bool
+      (Printf.sprintf "seed %d validates" k)
+      true
+      (Result.is_ok (Scenario.validate sc));
+    match Scenario.of_string (Scenario.to_string sc) with
+    | Error e -> Alcotest.failf "seed %d does not round-trip: %s" k e
+    | Ok sc' ->
+        check_bool (Printf.sprintf "seed %d round-trips exactly" k) true (sc = sc')
+  done
+
+let test_scenario_deterministic () =
+  for k = 1 to 10 do
+    let a = Scenario.of_seed (Int64.of_int k) and b = Scenario.of_seed (Int64.of_int k) in
+    check_bool (Printf.sprintf "seed %d is a pure function" k) true (a = b)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Checker unit tests against synthetic delivery streams *)
+
+let req ~client ~ts =
+  Proto.Request.make ~client ~ts ~submitted_at:Sim.Time_ns.zero ()
+
+let batch reqs = Proto.Batch.make (Array.of_list reqs)
+
+let new_checker ?(n = 2) ?(reply_quorum = 2) ?(window = 512) () =
+  Checker.create ~n ~reply_quorum ~window
+
+let submit ck reqs = List.iter (Checker.note_submitted ck) reqs
+
+let expect_ok name ck =
+  match Checker.finalize ck with
+  | Ok stats -> stats
+  | Error msg -> Alcotest.failf "%s: unexpected violation: %s" name msg
+
+let expect_violation name needle ck =
+  match Checker.finalize ck with
+  | Ok _ -> Alcotest.failf "%s: expected a violation mentioning %S" name needle
+  | Error msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool
+        (Printf.sprintf "%s: message %S mentions %S" name msg needle)
+        true (contains msg needle)
+
+let test_checker_clean_run () =
+  let ck = new_checker () in
+  let r = List.init 4 (fun ts -> req ~client:7 ~ts) in
+  submit ck r;
+  let b0 = batch [ List.nth r 0; List.nth r 1 ] and b1 = batch [ List.nth r 2; List.nth r 3 ] in
+  for node = 0 to 1 do
+    Checker.note_delivery ck ~node ~sn:0 ~first_request_sn:0 b0;
+    Checker.note_delivery ck ~node ~sn:1 ~first_request_sn:2 b1
+  done;
+  let stats = expect_ok "clean" ck in
+  check_int "distinct positions" 2 stats.Checker.sns;
+  check_int "distinct requests" 4 stats.Checker.requests;
+  check_int "quorate requests" 4 stats.Checker.quorum_requests;
+  check_int "node 0 delivered" 4 stats.Checker.per_node_delivered.(0);
+  check_int "node 1 delivered" 4 stats.Checker.per_node_delivered.(1)
+
+let test_checker_accepts_keepalive_holes () =
+  (* Positions 1-4 held ⊥ / empty keep-alive batches: never observed, zero
+     requests — the Eq. (2) chain must pass straight through them. *)
+  let ck = new_checker () in
+  let r = List.init 3 (fun ts -> req ~client:7 ~ts) in
+  submit ck r;
+  let b0 = batch [ List.nth r 0; List.nth r 1 ] and b5 = batch [ List.nth r 2 ] in
+  for node = 0 to 1 do
+    Checker.note_delivery ck ~node ~sn:0 ~first_request_sn:0 b0;
+    Checker.note_delivery ck ~node ~sn:5 ~first_request_sn:2 b5
+  done;
+  let stats = expect_ok "holes" ck in
+  check_int "distinct positions" 2 stats.Checker.sns
+
+let test_checker_rejects_disagreement () =
+  let ck = new_checker ~reply_quorum:1 () in
+  let a = req ~client:7 ~ts:0 and b = req ~client:8 ~ts:0 in
+  submit ck [ a; b ];
+  Checker.note_delivery ck ~node:0 ~sn:0 ~first_request_sn:0 (batch [ a; b ]);
+  Checker.note_delivery ck ~node:1 ~sn:0 ~first_request_sn:0 (batch [ b; a ]);
+  expect_violation "disagreement" "different batch" ck
+
+let test_checker_rejects_double_ordering () =
+  let ck = new_checker ~reply_quorum:1 () in
+  let a = req ~client:7 ~ts:0 in
+  submit ck [ a ];
+  Checker.note_delivery ck ~node:0 ~sn:0 ~first_request_sn:0 (batch [ a ]);
+  Checker.note_delivery ck ~node:0 ~sn:1 ~first_request_sn:1 (batch [ a ]);
+  expect_violation "double ordering" "ordered at both" ck
+
+let test_checker_rejects_fabrication () =
+  let ck = new_checker ~reply_quorum:1 () in
+  let a = req ~client:7 ~ts:0 in
+  Checker.note_delivery ck ~node:0 ~sn:0 ~first_request_sn:0 (batch [ a ]);
+  expect_violation "fabrication" "never submitted" ck
+
+let test_checker_rejects_out_of_order () =
+  let ck = new_checker ~reply_quorum:1 () in
+  let a = req ~client:7 ~ts:0 and b = req ~client:7 ~ts:1 in
+  submit ck [ a; b ];
+  Checker.note_delivery ck ~node:0 ~sn:1 ~first_request_sn:0 (batch [ a ]);
+  Checker.note_delivery ck ~node:0 ~sn:0 ~first_request_sn:1 (batch [ b ]);
+  expect_violation "out of order" "out of order" ck
+
+let test_checker_rejects_eq2_break () =
+  let ck = new_checker ~reply_quorum:1 () in
+  let a = req ~client:7 ~ts:0 and b = req ~client:7 ~ts:1 in
+  submit ck [ a; b ];
+  Checker.note_delivery ck ~node:0 ~sn:0 ~first_request_sn:0 (batch [ a ]);
+  (* sn 1 claims to start numbering at 2, but only one request precedes it. *)
+  Checker.note_delivery ck ~node:0 ~sn:2 ~first_request_sn:2 (batch [ b ]);
+  expect_violation "Eq. 2 break" "Eq. 2" ck
+
+let test_checker_rejects_lost_request () =
+  let ck = new_checker ~reply_quorum:1 () in
+  let a = req ~client:7 ~ts:0 and b = req ~client:7 ~ts:1 in
+  submit ck [ a; b ];
+  Checker.note_delivery ck ~node:0 ~sn:0 ~first_request_sn:0 (batch [ a ]);
+  expect_violation "lost request" "never ordered" ck
+
+let test_checker_rejects_window_violation () =
+  (* window = 4: ts 4 may only be ordered after ts 0 of the same client. *)
+  let ck = new_checker ~n:1 ~reply_quorum:1 ~window:4 () in
+  let r = List.init 5 (fun ts -> req ~client:7 ~ts) in
+  submit ck r;
+  let order = [ 4; 0; 1; 2; 3 ] in
+  List.iteri
+    (fun sn ts ->
+      Checker.note_delivery ck ~node:0 ~sn ~first_request_sn:sn (batch [ List.nth r ts ]))
+    order;
+  expect_violation "window violation" "watermark window" ck
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker *)
+
+let test_shrink_candidates_valid () =
+  for k = 1 to 10 do
+    let sc = Scenario.of_seed (Int64.of_int k) in
+    List.iter
+      (fun c ->
+        check_bool
+          (Printf.sprintf "seed %d candidate validates" k)
+          true
+          (Result.is_ok (Scenario.validate c));
+        check_bool (Printf.sprintf "seed %d candidate differs" k) true (c <> sc))
+      (Shrink.candidates sc)
+  done
+
+let test_shrink_converges () =
+  (* Synthetic failure predicate: the "bug" needs an offered load >= 100.
+     The greedy descent must land on a local minimum that still fails and
+     has shed everything irrelevant (faults, clients, duration). *)
+  let sc = Scenario.of_seed 3L in
+  check_bool "seed 3 starts above the threshold" true (sc.Scenario.rate >= 100.);
+  let still_fails c = c.Scenario.rate >= 100. in
+  let min_sc = Shrink.minimize sc ~still_fails in
+  check_bool "minimum still fails" true (still_fails min_sc);
+  check_bool "no candidate of the minimum still fails" true
+    (not (List.exists still_fails (Shrink.candidates min_sc)));
+  check_bool "irrelevant faults dropped" true (min_sc.Scenario.faults = []);
+  check_int "client pool shrunk" 1 min_sc.Scenario.num_clients
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: fixed seed + committed regression corpus *)
+
+let test_fixed_seed_pipeline () =
+  (* Seed 9 draws a fault-free scenario: the cheapest full pass through all
+     three protocols with instrumented/bare fingerprint equality. *)
+  match Harness.check_seed 9L with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "seed 9: %s" (Format.asprintf "%a" Harness.pp_failure f)
+
+let corpus_dir = "conform_corpus"
+
+let corpus_files () =
+  if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  else []
+
+let protocol_of_name s =
+  match String.lowercase_ascii s with
+  | "pbft" -> Some Core.Config.PBFT
+  | "hotstuff" -> Some Core.Config.HotStuff
+  | "raft" -> Some Core.Config.Raft
+  | _ -> None
+
+let replay_corpus_file file () =
+  let path = Filename.concat corpus_dir file in
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  match Obs.Jsonx.of_string contents with
+  | Error e -> Alcotest.failf "%s: bad JSON: %s" file e
+  | Ok json -> (
+      let scenario_json =
+        match Obs.Jsonx.member "scenario" json with Some s -> s | None -> json
+      in
+      match Scenario.of_json scenario_json with
+      | Error e -> Alcotest.failf "%s: bad scenario: %s" file e
+      | Ok sc ->
+          let protocols =
+            match Obs.Jsonx.member "protocol" json with
+            | Some (Obs.Jsonx.String p) -> (
+                match protocol_of_name p with
+                | Some p -> [ p ]
+                | None -> Alcotest.failf "%s: unknown protocol %S" file p)
+            | _ -> Harness.protocols
+          in
+          List.iter
+            (fun p ->
+              match Harness.check_protocol sc p with
+              | Ok () -> ()
+              | Error f ->
+                  Alcotest.failf "%s regressed: %s" file (Harness.failure_message f))
+            protocols)
+
+let test_corpus_not_empty () =
+  check_bool "committed corpus has entries" true (corpus_files () <> [])
+
+let () =
+  Alcotest.run "conform"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_scenario_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "clean run" `Quick test_checker_clean_run;
+          Alcotest.test_case "keep-alive holes are legal" `Quick
+            test_checker_accepts_keepalive_holes;
+          Alcotest.test_case "disagreement" `Quick test_checker_rejects_disagreement;
+          Alcotest.test_case "double ordering" `Quick test_checker_rejects_double_ordering;
+          Alcotest.test_case "fabrication" `Quick test_checker_rejects_fabrication;
+          Alcotest.test_case "out of order" `Quick test_checker_rejects_out_of_order;
+          Alcotest.test_case "Eq. 2 break" `Quick test_checker_rejects_eq2_break;
+          Alcotest.test_case "lost request" `Quick test_checker_rejects_lost_request;
+          Alcotest.test_case "window violation" `Quick test_checker_rejects_window_violation;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "candidates valid" `Quick test_shrink_candidates_valid;
+          Alcotest.test_case "greedy descent converges" `Quick test_shrink_converges;
+        ] );
+      ( "end-to-end",
+        Alcotest.test_case "fixed seed, all protocols" `Slow test_fixed_seed_pipeline
+        :: Alcotest.test_case "corpus is committed" `Quick test_corpus_not_empty
+        :: List.map
+             (fun f -> Alcotest.test_case ("corpus " ^ f) `Slow (replay_corpus_file f))
+             (corpus_files ()) );
+    ]

@@ -311,6 +311,36 @@ let test_policy_fixed () =
   Alcotest.(check (list int)) "fixed stays fixed" [ 0 ]
     (Array.to_list (Core.Leader_policy.leaders p ~epoch:1))
 
+let test_policy_snapshot_roundtrip () =
+  (* A fresh policy restored from a snapshot must produce the same leader
+     sets as the evolved original (checkpoint jump adopts policy state this
+     way). *)
+  List.iter
+    (fun kind ->
+      let p = mk_policy kind 7 in
+      Core.Leader_policy.epoch_finished p ~epoch:0 ~failed:[ (2, 11); (5, 3) ] ();
+      Core.Leader_policy.epoch_finished p ~epoch:1 ~failed:[ (2, 20) ] ();
+      let q = mk_policy kind 7 in
+      Core.Leader_policy.restore q (Core.Leader_policy.snapshot p);
+      Alcotest.(check (list int))
+        "restored policy yields identical leaders"
+        (Array.to_list (Core.Leader_policy.leaders p ~epoch:2))
+        (Array.to_list (Core.Leader_policy.leaders q ~epoch:2)))
+    [ Core.Config.Simple; Core.Config.Backoff; Core.Config.Blacklist; Core.Config.Straggler_aware ];
+  (* Kind or size mismatches are rejected, not silently accepted. *)
+  let b = mk_policy Core.Config.Blacklist 7 in
+  check_bool "mismatched snapshot raises" true
+    (try
+       Core.Leader_policy.restore b "backoff:0,0,0,0,0,0,0";
+       false
+     with Invalid_argument _ -> true);
+  let small = mk_policy Core.Config.Blacklist 4 in
+  check_bool "mismatched size raises" true
+    (try
+       Core.Leader_policy.restore small (Core.Leader_policy.snapshot b);
+       false
+     with Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Log *)
 
@@ -360,6 +390,62 @@ let test_log_ranges () =
   check_bool "range with gap" false (Core.Log.range_complete log ~from_sn:0 ~to_sn:3);
   Alcotest.(check (list int)) "nil entries" [ 1 ] (Core.Log.nil_entries log ~from_sn:0 ~to_sn:2);
   check_int "digest array" 3 (Array.length (Core.Log.batch_digests log ~from_sn:0 ~to_sn:2))
+
+let drain log =
+  ignore (Core.Log.deliver_ready log ~on_batch:(fun ~sn:_ ~first_request_sn:_ _ -> ()))
+
+let test_log_prune () =
+  let log = Core.Log.create () in
+  for sn = 0 to 9 do
+    ignore (Core.Log.commit log ~sn (Proto.Proposal.Batch (batch_of [ (1, sn) ])))
+  done;
+  (* Commit one entry ahead of a gap; it must survive every prune. *)
+  ignore (Core.Log.commit log ~sn:11 (Proto.Proposal.Batch (batch_of [ (1, 99) ])));
+  drain log;
+  check_int "frontier at gap" 10 (Core.Log.first_undelivered log);
+  check_int "one committed ahead" 1 (Core.Log.committed_ahead log);
+  (* Prune below 6: exactly entries 0-5 go. *)
+  check_int "pruned 6 entries" 6 (Core.Log.prune log ~below_sn:6);
+  check_int "pruned_below" 6 (Core.Log.pruned_below log);
+  check_bool "pruned entry absent" true (Core.Log.get log ~sn:3 = None);
+  check_bool "retained entry present" true (Core.Log.get log ~sn:7 <> None);
+  check_int "committed_ahead robust to pruning" 1 (Core.Log.committed_ahead log);
+  (* Prune clamps to the frontier: undelivered positions never go. *)
+  check_int "clamped prune" 4 (Core.Log.prune log ~below_sn:100);
+  check_int "pruned_below clamped" 10 (Core.Log.pruned_below log);
+  check_bool "committed-ahead entry survives" true (Core.Log.get log ~sn:11 <> None);
+  (* Late retransmission of a pruned position is dropped, not resurrected. *)
+  check_bool "re-commit below pruned_below dropped" false
+    (Core.Log.commit log ~sn:2 (Proto.Proposal.Batch (batch_of [ (1, 2) ])));
+  check_bool "still absent" true (Core.Log.get log ~sn:2 = None);
+  (* Idempotent. *)
+  check_int "second prune removes nothing" 0 (Core.Log.prune log ~below_sn:6)
+
+let test_log_jump () =
+  let log = Core.Log.create () in
+  for sn = 0 to 3 do
+    ignore (Core.Log.commit log ~sn (Proto.Proposal.Batch (batch_of [ (1, sn) ])))
+  done;
+  drain log;
+  (* An entry committed ahead of the jump target must deliver afterwards. *)
+  ignore (Core.Log.commit log ~sn:21 (Proto.Proposal.Batch (batch_of [ (2, 0); (2, 1) ])));
+  Core.Log.jump log ~to_sn:20 ~total_delivered:57;
+  check_int "frontier jumped" 20 (Core.Log.first_undelivered log);
+  check_int "pruned below jump" 20 (Core.Log.pruned_below log);
+  check_int "request numbering adopted" 57 (Core.Log.total_delivered log);
+  check_int "nothing committed-ahead lost" 1 (Core.Log.committed_ahead log);
+  ignore (Core.Log.commit log ~sn:20 (Proto.Proposal.Batch (batch_of [ (3, 0) ])));
+  let seen = ref [] in
+  ignore
+    (Core.Log.deliver_ready log ~on_batch:(fun ~sn ~first_request_sn _ ->
+         seen := (sn, first_request_sn) :: !seen));
+  Alcotest.(check (list (pair int int)))
+    "post-jump deliveries resume at adopted count"
+    [ (20, 57); (21, 58) ]
+    (List.rev !seen);
+  (* Jump not ahead of the frontier is a no-op. *)
+  Core.Log.jump log ~to_sn:5 ~total_delivered:0;
+  check_int "stale jump ignored" 22 (Core.Log.first_undelivered log)
 
 (* ------------------------------------------------------------------ *)
 (* Watermarks *)
@@ -420,12 +506,52 @@ let prop_watermarks_overflow_no_duplicate =
         (fun (client, ts) ->
           let id = { Proto.Request.client; ts } in
           Core.Watermarks.note_delivered w id;
-          if Core.Watermarks.delivered w id then Hashtbl.replace seen (client, ts) ();
-          (* Every id ever reported delivered must still be reported so. *)
-          Hashtbl.fold
-            (fun (client, ts) () ok ->
-              ok && Core.Watermarks.delivered w { Proto.Request.client; ts })
-            seen true)
+          (* A just-noted id must read as delivered (the pre-fix degrade
+             path jumped the floor to ts + 1 - capacity without setting the
+             triggering bit, leaving its own delivery unrecorded). *)
+          if not (Core.Watermarks.delivered w id) then false
+          else begin
+            Hashtbl.replace seen (client, ts) ();
+            (* Every id ever reported delivered must still be reported so. *)
+            Hashtbl.fold
+              (fun (client, ts) () ok ->
+                ok && Core.Watermarks.delivered w { Proto.Request.client; ts })
+              seen true
+          end)
+        ops)
+
+(* The converse direction: [delivered] may answer [true] above the floor
+   only for timestamps actually noted.  Before the degrade path cleared
+   stale ring bits, a floor jump left bits of the old window set, and a
+   fresh timestamp aliasing one of them ([mod capacity]) read as already
+   delivered — a false positive that silently suppresses a live request
+   (exactly-once's liveness half).  Scan the whole representable window
+   after every operation. *)
+let prop_watermarks_overflow_no_false_positive =
+  QCheck.Test.make
+    ~name:"ring overflow never fabricates a delivery (no false positive)" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 60) (pair (int_bound 2) (int_bound 400)))
+    (fun ops ->
+      let window = 8 in
+      let capacity = 4 * window in
+      let w = Core.Watermarks.create ~window in
+      let noted = Hashtbl.create 64 in
+      List.for_all
+        (fun (client, ts) ->
+          Core.Watermarks.note_delivered w { Proto.Request.client; ts };
+          Hashtbl.replace noted (client, ts) ();
+          List.for_all
+            (fun client ->
+              let floor = Core.Watermarks.floor w client in
+              let ok = ref true in
+              for ts = floor to floor + capacity - 1 do
+                if
+                  Core.Watermarks.delivered w { Proto.Request.client; ts }
+                  && not (Hashtbl.mem noted (client, ts))
+                then ok := false
+              done;
+              !ok)
+            [ 0; 1; 2 ])
         ops)
 
 (* ------------------------------------------------------------------ *)
@@ -516,12 +642,15 @@ let () =
           Alcotest.test_case "BACKOFF doubling" `Quick test_policy_backoff_doubling;
           Alcotest.test_case "STRAGGLER-AWARE" `Quick test_policy_straggler_aware;
           Alcotest.test_case "FIXED" `Quick test_policy_fixed;
+          Alcotest.test_case "snapshot roundtrip" `Quick test_policy_snapshot_roundtrip;
         ] );
       ( "log",
         [
           Alcotest.test_case "delivery order + Eq 2" `Quick test_log_delivery_order_eq2;
           Alcotest.test_case "conflict detection" `Quick test_log_conflict_detection;
           Alcotest.test_case "ranges and nils" `Quick test_log_ranges;
+          Alcotest.test_case "prune below checkpoint" `Quick test_log_prune;
+          Alcotest.test_case "checkpoint jump" `Quick test_log_jump;
         ] );
       ( "watermarks",
         [
@@ -529,6 +658,7 @@ let () =
           Alcotest.test_case "out of order" `Quick test_watermarks_out_of_order;
           qc prop_watermarks_permutation;
           qc prop_watermarks_overflow_no_duplicate;
+          qc prop_watermarks_overflow_no_false_positive;
         ] );
       ( "config",
         [

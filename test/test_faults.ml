@@ -137,7 +137,9 @@ let fingerprint cluster =
       Buffer.add_string buf
         (Printf.sprintf "n%d(%d):" (Core.Node.id node) (Core.Node.delivered_count node));
       let log = Core.Node.log node in
-      let sn = ref 0 in
+      (* Start at the pruned horizon: GC may have dropped the delivered
+         prefix, and [get] reports pruned positions as absent. *)
+      let sn = ref (Core.Log.pruned_below log) in
       let continue_ = ref true in
       while !continue_ do
         match Core.Log.get log ~sn:!sn with

@@ -179,6 +179,8 @@ let test_checkpoint_stability () =
           let material =
             Proto.Message.checkpoint_material ~epoch:cert.Proto.Message.cc_epoch
               ~max_sn:cert.Proto.Message.cc_max_sn ~root:cert.Proto.Message.cc_root
+              ~req_count:cert.Proto.Message.cc_req_count
+              ~policy:cert.Proto.Message.cc_policy
           in
           List.iter
             (fun (signer, s) ->
@@ -209,6 +211,44 @@ let test_state_transfer_after_partition () =
   (* Totality: node 3 catches up to the others after healing (within the
      last in-flight epoch). *)
   check_bool "node 3 caught up after heal" true (frontier 3 >= frontier 0 - 48)
+
+let test_log_bounded_by_gc () =
+  (* Long fault-free run over many epochs: GC must prune delivered entries
+     behind the stable-checkpoint retention window, so each node's retained
+     log stays bounded no matter how long the run is. *)
+  let config =
+    {
+      (short_epochs (Core.Config.pbft_default ~n:4)) with
+      Core.Config.log_retention_epochs = 3;
+      (* Keep idle epochs turning over quickly so the run spans many of
+         them: empty keep-alive batches are cut every epoch_change_timeout/2,
+         so a short epoch-change timeout drives the idle tail of the run
+         through many checkpoint/GC cycles. *)
+      max_batch_timeout = Sim.Time_ns.ms 250;
+      epoch_change_timeout = Sim.Time_ns.sec 2;
+    }
+  in
+  let c = build config in
+  Array.iter Core.Node.start c.nodes;
+  submit_spread c ~clients:4 ~per_client:200 ~gap_ms:20;
+  Sim.Engine.run ~until:(Sim.Time_ns.sec 120) c.engine;
+  let epoch_len = config.Core.Config.min_epoch_length in
+  Array.iteri
+    (fun i node ->
+      let log = Core.Node.log node in
+      let frontier = Core.Log.first_undelivered log in
+      if frontier <= 20 * epoch_len then
+        Alcotest.failf "node %d only reached frontier %d (epoch %d) — expected > %d"
+          i frontier (Core.Node.current_epoch node) (20 * epoch_len);
+      check_bool (Printf.sprintf "node %d pruned" i) true (Core.Log.pruned_below log > 0);
+      (* Retained = delivered-but-kept window + commit queue.  The bound is
+         retention (3 epochs) + the current epoch + skew slack while
+         certificates stabilize. *)
+      let retained = frontier - Core.Log.pruned_below log + Core.Log.committed_ahead log in
+      if retained > 8 * epoch_len then
+        Alcotest.failf "node %d retains %d entries after %d delivered — GC is not keeping up"
+          i retained frontier)
+    c.nodes
 
 let test_straggler_impact () =
   let config = short_epochs (Core.Config.pbft_default ~n:4) in
@@ -311,6 +351,7 @@ let () =
           Alcotest.test_case "state transfer after partition" `Slow
             test_state_transfer_after_partition;
           Alcotest.test_case "straggler tolerated" `Slow test_straggler_impact;
+          Alcotest.test_case "log bounded by checkpoint GC" `Slow test_log_bounded_by_gc;
           QCheck_alcotest.to_alcotest prop_agreement_random_crashes;
         ] );
       ( "request-validation",

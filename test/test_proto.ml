@@ -119,11 +119,18 @@ let test_hotstuff_msg_sizes () =
 
 let test_checkpoint_material_distinct () =
   let root = Iss_crypto.Hash.of_int 7 in
-  let m1 = Proto.Message.checkpoint_material ~epoch:1 ~max_sn:255 ~root in
-  let m2 = Proto.Message.checkpoint_material ~epoch:2 ~max_sn:255 ~root in
-  let m3 = Proto.Message.checkpoint_material ~epoch:1 ~max_sn:511 ~root in
+  let mk ~epoch ~max_sn ~req_count ~policy =
+    Proto.Message.checkpoint_material ~epoch ~max_sn ~root ~req_count ~policy
+  in
+  let m1 = mk ~epoch:1 ~max_sn:255 ~req_count:100 ~policy:"blacklist:-1,-1" in
+  let m2 = mk ~epoch:2 ~max_sn:255 ~req_count:100 ~policy:"blacklist:-1,-1" in
+  let m3 = mk ~epoch:1 ~max_sn:511 ~req_count:100 ~policy:"blacklist:-1,-1" in
+  let m4 = mk ~epoch:1 ~max_sn:255 ~req_count:101 ~policy:"blacklist:-1,-1" in
+  let m5 = mk ~epoch:1 ~max_sn:255 ~req_count:100 ~policy:"blacklist:7,-1" in
   check_bool "epoch in material" false (String.equal m1 m2);
-  check_bool "max_sn in material" false (String.equal m1 m3)
+  check_bool "max_sn in material" false (String.equal m1 m3);
+  check_bool "req_count in material" false (String.equal m1 m4);
+  check_bool "policy in material" false (String.equal m1 m5)
 
 (* ------------------------------------------------------------------ *)
 
