@@ -223,8 +223,10 @@ let run_cmd =
           ~doc:
             (Printf.sprintf
                "Named chaos scenario to run under the invariant checker: %s.  \"chaos\" \
-                generates a randomized schedule from --seed.  The run is extended past the \
-                schedule's heal time and fails (exit 1) if any invariant breaks."
+                generates a randomized benign schedule from --seed; \"byz\" a randomized \
+                active-malice window (BFT protocols only, like the byz-* scenarios).  The \
+                run is extended past the schedule's heal time and fails (exit 1) if any \
+                invariant breaks."
                (String.concat ", " Runner.Faults.scenario_names)))
   in
   let go system n rate duration seed policy faults scenario series relaxed trace_out
@@ -236,6 +238,7 @@ let run_cmd =
       match scenario with
       | None -> None
       | Some "chaos" -> Some (Runner.Faults.random ~seed ~n ~duration_s:duration)
+      | Some "byz" -> Some (Runner.Faults.random_byzantine ~seed ~n ~duration_s:duration)
       | Some name -> (
           match Runner.Faults.named ~n name with
           | Ok sc -> Some sc
@@ -255,6 +258,10 @@ let run_cmd =
     | exception Runner.Cluster.Invariant_violation report ->
         Format.eprintf "INVARIANT VIOLATION@.%s@." report;
         exit 1
+    | exception Invalid_argument msg ->
+        (* e.g. a byz-* scenario requested for Raft *)
+        Format.eprintf "%s@." msg;
+        exit 2
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one measurement experiment.")
     Term.(

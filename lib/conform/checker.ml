@@ -50,6 +50,7 @@ type t = {
   last_frs_end : int array;  (* per node: frs + len of the last delivery *)
   per_node_seen : (int, unit) Hashtbl.t array;
   delivered_counts : int array;
+  byzantine : bool array;  (* invariants quantify over correct nodes only *)
   mutable max_sn : int;
   mutable violation : string option;
 }
@@ -66,9 +67,12 @@ let create ~n ~reply_quorum ~window =
     last_frs_end = Array.make n 0;
     per_node_seen = Array.init n (fun _ -> Hashtbl.create 4096);
     delivered_counts = Array.make n 0;
+    byzantine = Array.make n false;
     max_sn = -1;
     violation = None;
   }
+
+let set_byzantine t node = t.byzantine.(node) <- true
 
 let fail t fmt = Printf.ksprintf (fun msg -> if t.violation = None then t.violation <- Some msg) fmt
 
@@ -76,7 +80,19 @@ let note_submitted t (r : Proto.Request.t) =
   Hashtbl.replace t.submitted (Proto.Request.id_key r.Proto.Request.id) r
 
 let note_delivery t ~node ~sn ~first_request_sn batch =
-  if t.violation = None then begin
+  if t.violation = None then
+    if t.byzantine.(node) then begin
+      (* A Byzantine node's local log is outside the specification: keep its
+         progress counters (they feed the fingerprint, so instrumented and
+         bare runs still compare bit-exactly) but quantify every invariant
+         over correct nodes only, and never let its deliveries seed the
+         first-observed baseline for a position. *)
+      let len = Proto.Batch.length batch in
+      if sn > t.last_sn.(node) then t.last_sn.(node) <- sn;
+      t.last_frs_end.(node) <- first_request_sn + len;
+      t.delivered_counts.(node) <- t.delivered_counts.(node) + len
+    end
+    else begin
     let len = Proto.Batch.length batch in
     (* Per-node total order: strictly increasing delivery positions.  (Gaps
        are legal: a checkpoint jump skips positions covered by the adopted

@@ -24,6 +24,14 @@ type stats = {
 val create : n:int -> reply_quorum:int -> window:int -> t
 (** [window] is the configuration's [client_watermark_window]. *)
 
+val set_byzantine : t -> int -> unit
+(** Exempt a node from the checked invariants: agreement, exactly-once,
+    fabrication and Eq. (2) quantify over {e correct} nodes only, and a
+    Byzantine node's deliveries never seed the first-observed baseline for
+    a log position.  Its progress counters still feed {!fingerprint}.  Call
+    before the run for every node the fault schedule attacks
+    ({!Scenario.byzantine_nodes}). *)
+
 val note_submitted : t -> Proto.Request.t -> unit
 (** Feed from {!Runner.Cluster.set_submission_observer}. *)
 

@@ -121,7 +121,7 @@ type run_result = { fingerprint : string; stats : Checker.stats }
 
 let run_protocol ?(instrumented = true) (sc : Scenario.t) protocol :
     (run_result, string) result =
-  match Scenario.validate sc with
+  match Scenario.validate ~protocol sc with
   | Error e -> Error (Printf.sprintf "invalid scenario: %s" e)
   | Ok () -> (
       let engine = Sim.Engine.create () in
@@ -138,6 +138,7 @@ let run_protocol ?(instrumented = true) (sc : Scenario.t) protocol :
         Checker.create ~n:sc.Scenario.n ~reply_quorum:(Cluster.reply_quorum cluster)
           ~window:config.Core.Config.client_watermark_window
       in
+      List.iter (Checker.set_byzantine checker) (Scenario.byzantine_nodes sc);
       Cluster.set_submission_observer cluster (Checker.note_submitted checker);
       Cluster.set_delivery_observer cluster (fun ~node ~sn ~first_request_sn batch ->
           Checker.note_delivery checker ~node ~sn ~first_request_sn batch);
@@ -204,7 +205,14 @@ let check_scenario (sc : Scenario.t) : (unit, failure) result =
     | protocol :: rest -> (
         match check_protocol sc protocol with Ok () -> go rest | Error f -> Error f)
   in
-  go protocols
+  (* Active-malice scenarios only make sense under a Byzantine fault model:
+     Raft (crash-fault-tolerant) is exempt, not broken. *)
+  let applicable =
+    if Scenario.has_byzantine sc then
+      List.filter (fun p -> p <> Core.Config.Raft) protocols
+    else protocols
+  in
+  go applicable
 
 let check_seed seed = check_scenario (Scenario.of_seed seed)
 

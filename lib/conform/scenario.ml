@@ -33,12 +33,15 @@ let of_seed seed =
   let rate = float_of_int (60 + (20 * Rng.int rng 12)) in
   let duration_s = float_of_int (4 + Rng.int rng 6) in
   (* Fault schedule: a quarter of the seeds run fault-free (pure ordering /
-     watermark / GC conformance); the rest draw a sequential schedule of
-     crash-recoveries, partitions, loss and straggler windows. *)
+     watermark / GC conformance), a quarter draw an active-malice window
+     (BFT protocols only — the harness skips Raft for those), and the rest
+     draw a sequential schedule of crash-recoveries, partitions, loss and
+     straggler windows. *)
   let schedule =
-    if Rng.int rng 4 = 0 then []
-    else
-      Faults.spec (Faults.random ~seed:(Rng.next_int64 rng) ~n ~duration_s)
+    match Rng.int rng 4 with
+    | 0 -> []
+    | 1 -> Faults.spec (Faults.random_byzantine ~seed:(Rng.next_int64 rng) ~n ~duration_s)
+    | _ -> Faults.spec (Faults.random ~seed:(Rng.next_int64 rng) ~n ~duration_s)
   in
   (* Latency jitter: an extra slow-link window on one random link, on top of
      whatever the schedule does (slow links never threaten liveness, so
@@ -55,12 +58,15 @@ let of_seed seed =
   in
   { seed; n; rate; num_clients; duration_s; faults = schedule @ jitter }
 
-let validate t =
+let validate ?protocol t =
   if t.n < 4 then Error "n must be at least 4"
   else if t.rate <= 0.0 then Error "rate must be positive"
   else if t.num_clients < 1 then Error "num_clients must be positive"
   else if t.duration_s <= 0.0 then Error "duration_s must be positive"
-  else Faults.validate (Faults.make ~name:(name t) t.faults) ~n:t.n
+  else Faults.validate ?protocol (Faults.make ~name:(name t) t.faults) ~n:t.n
+
+let has_byzantine t = Faults.has_byzantine (Faults.make ~name:(name t) t.faults)
+let byzantine_nodes t = Faults.byzantine_nodes (Faults.make ~name:(name t) t.faults)
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec (repro files).  Spans are encoded as integer nanoseconds;
@@ -101,6 +107,26 @@ let spec_to_json (s : Faults.spec) =
           ("from_s", J.Float from_s);
           ("until_s", J.Float until_s);
         ]
+  | Faults.Equivocate { node; from_s; until_s } ->
+      obj "equivocate"
+        [ ("node", J.Int node); ("from_s", J.Float from_s); ("until_s", J.Float until_s) ]
+  | Faults.Censor { node; buckets; from_s; until_s } ->
+      obj "censor"
+        [
+          ("node", J.Int node);
+          ("buckets", J.List (List.map (fun i -> J.Int i) buckets));
+          ("from_s", J.Float from_s);
+          ("until_s", J.Float until_s);
+        ]
+  | Faults.Corrupt_sig { node; from_s; until_s } ->
+      obj "corrupt_sig"
+        [ ("node", J.Int node); ("from_s", J.Float from_s); ("until_s", J.Float until_s) ]
+  | Faults.Replay { node; from_s; until_s } ->
+      obj "replay"
+        [ ("node", J.Int node); ("from_s", J.Float from_s); ("until_s", J.Float until_s) ]
+  | Faults.Bad_checkpoint { node; from_s; until_s } ->
+      obj "bad_checkpoint"
+        [ ("node", J.Int node); ("from_s", J.Float from_s); ("until_s", J.Float until_s) ]
 
 let field name json =
   match J.member name json with
@@ -174,6 +200,44 @@ let spec_of_json json =
       let* from_s = float_field "from_s" json in
       let* until_s = float_field "until_s" json in
       Ok (Faults.Slow_link { a; b; extra; from_s; until_s })
+  | J.String "equivocate" ->
+      let* node = int_field "node" json in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Equivocate { node; from_s; until_s })
+  | J.String "censor" ->
+      let* node = int_field "node" json in
+      let* buckets = field "buckets" json in
+      let* buckets =
+        match J.to_list buckets with
+        | None -> Error "field \"buckets\": expected list"
+        | Some items ->
+            List.fold_right
+              (fun item acc ->
+                let* acc = acc in
+                match item with
+                | J.Int i -> Ok (i :: acc)
+                | _ -> Error "field \"buckets\": expected ints")
+              items (Ok [])
+      in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Censor { node; buckets; from_s; until_s })
+  | J.String "corrupt_sig" ->
+      let* node = int_field "node" json in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Corrupt_sig { node; from_s; until_s })
+  | J.String "replay" ->
+      let* node = int_field "node" json in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Replay { node; from_s; until_s })
+  | J.String "bad_checkpoint" ->
+      let* node = int_field "node" json in
+      let* from_s = float_field "from_s" json in
+      let* until_s = float_field "until_s" json in
+      Ok (Faults.Bad_checkpoint { node; from_s; until_s })
   | J.String other -> Error (Printf.sprintf "unknown fault kind %S" other)
   | _ -> Error "field \"kind\": expected string"
 

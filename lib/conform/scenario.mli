@@ -19,11 +19,23 @@ type t = {
 val of_seed : int64 -> t
 (** Deterministic fuzzer: equal seeds give equal scenarios.  Draws cluster
     size (4–7), client pool (2–8), rate (60–280 req/s), duration (4–9 s), a
-    sequential fault schedule ({!Runner.Faults.random}; a quarter of seeds
-    run fault-free) and an optional slow-link latency-jitter window. *)
+    fault schedule (a quarter of seeds run fault-free, a quarter draw an
+    active-malice window via {!Runner.Faults.random_byzantine}, the rest a
+    sequential benign schedule via {!Runner.Faults.random}) and an optional
+    slow-link latency-jitter window. *)
 
 val name : t -> string
-val validate : t -> (unit, string) result
+
+val validate : ?protocol:Core.Config.protocol -> t -> (unit, string) result
+(** Structural checks plus {!Runner.Faults.validate} on the schedule; pass
+    [protocol] to additionally reject active-malice specs for Raft. *)
+
+val has_byzantine : t -> bool
+(** The schedule contains at least one active-malice spec — the harness
+    skips Raft (crash-fault-tolerant only) for such scenarios. *)
+
+val byzantine_nodes : t -> int list
+(** Sorted, deduplicated attacker ids (see {!Runner.Faults.byzantine_nodes}). *)
 
 val to_json : t -> Obs.Jsonx.t
 val of_json : Obs.Jsonx.t -> (t, string) result

@@ -28,6 +28,21 @@ let halve_window = function
       Some
         (Faults.Slow_link
            { a; b; extra; from_s; until_s = quant (from_s +. ((until_s -. from_s) /. 2.0)) })
+  | Faults.Equivocate { node; from_s; until_s } when until_s -. from_s > 0.5 ->
+      Some (Faults.Equivocate { node; from_s; until_s = quant (from_s +. ((until_s -. from_s) /. 2.0)) })
+  | Faults.Censor { node; buckets; from_s; until_s } when until_s -. from_s > 0.5 ->
+      Some
+        (Faults.Censor
+           { node; buckets; from_s; until_s = quant (from_s +. ((until_s -. from_s) /. 2.0)) })
+  | Faults.Corrupt_sig { node; from_s; until_s } when until_s -. from_s > 0.5 ->
+      Some
+        (Faults.Corrupt_sig { node; from_s; until_s = quant (from_s +. ((until_s -. from_s) /. 2.0)) })
+  | Faults.Replay { node; from_s; until_s } when until_s -. from_s > 0.5 ->
+      Some (Faults.Replay { node; from_s; until_s = quant (from_s +. ((until_s -. from_s) /. 2.0)) })
+  | Faults.Bad_checkpoint { node; from_s; until_s } when until_s -. from_s > 0.5 ->
+      Some
+        (Faults.Bad_checkpoint
+           { node; from_s; until_s = quant (from_s +. ((until_s -. from_s) /. 2.0)) })
   | _ -> None
 
 let spec_nodes = function
@@ -35,7 +50,12 @@ let spec_nodes = function
   | Faults.Recover { node; _ }
   | Faults.Crash_recover { node; _ }
   | Faults.Isolate { node; _ }
-  | Faults.Straggle { node; _ } ->
+  | Faults.Straggle { node; _ }
+  | Faults.Equivocate { node; _ }
+  | Faults.Censor { node; _ }
+  | Faults.Corrupt_sig { node; _ }
+  | Faults.Replay { node; _ }
+  | Faults.Bad_checkpoint { node; _ } ->
       [ node ]
   | Faults.Split { minority; _ } -> minority
   | Faults.Drop _ -> []

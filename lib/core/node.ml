@@ -67,6 +67,9 @@ type t = {
       (* requests this node itself delivered — unlike Log.total_delivered it
          does not jump over state-transferred history, so it is the honest
          reading for the node.delivered metric *)
+  mutable auth_failures : int;
+      (* messages dropped at ingress because their authenticator failed —
+         the Byzantine Corrupt_sig attack surfaces here *)
   mutable halted : bool;
   mutable straggler : bool;
   mutable st_target : int;  (* rotating state-transfer target *)
@@ -104,6 +107,7 @@ let current_epoch t = t.epoch.e_num
 let log t = t.log
 let is_halted t = t.halted
 let delivered_count t = t.locally_delivered
+let auth_failures t = t.auth_failures
 let epoch_leaders t = t.epoch.e_leaders
 let bucket_leader t ~bucket = t.epoch.e_bucket_leaders.(bucket)
 let set_straggler t b = t.straggler <- b
@@ -380,11 +384,11 @@ let request_batch t (b : batcher) ~sn callback =
 
 let validate_proposal t (seg : Segment.t) ~sn proposal =
   match proposal with
-  | Proto.Proposal.Nil -> true
+  | Proto.Proposal.Nil -> Orderer_intf.Accept
   | Proto.Proposal.Batch _ when not t.config.Config.strict_validation ->
       (* Relaxed mode for large fault-free benchmarks: trust the leader; the
          simulated verification CPU cost is still charged by the orderer. *)
-      true
+      Orderer_intf.Accept
   | Proto.Proposal.Batch batch ->
       (* O(1) bucket-ownership check: a bucket belongs to this segment iff
          the epoch's assignment maps it to the segment's leader.  Falls back
@@ -396,8 +400,13 @@ let validate_proposal t (seg : Segment.t) ~sn proposal =
       in
       (* Single optimistic pass: check and record each request; honest
          leaders never fail, so the rollback (un-recording what this call
-         added) only runs on actual violations. *)
-      let ok = ref true in
+         added) only runs on actual violations.  Failures split into two
+         classes: a bad request signature or an out-of-bucket request is
+         {e provable} misbehaviour (an honest leader cannot cut either), so
+         the verdict is [Reject_malicious]; duplicate/stale/overflowing
+         requests could come from an honest-but-lagging leader, so they stay
+         a plain [Reject]. *)
+      let verdict = ref Orderer_intf.Accept in
       let recorded = ref [] in
       (try
          Proto.Batch.iter
@@ -414,23 +423,34 @@ let validate_proposal t (seg : Segment.t) ~sn proposal =
                    recorded := key :: !recorded;
                    true
              in
+             (* (a) request validity: a forged client signature proves the
+                leader fabricated or tampered with the request. *)
+             if t.config.Config.client_signatures && not (Proto.Request.signature_valid r)
+             then begin
+               verdict := Orderer_intf.Reject_malicious;
+               raise Exit
+             end;
+             (* (c) maps to one of the segment's buckets: §4.2 principle 3 —
+                a request outside the segment's buckets can only appear if
+                the leader ignored the epoch's bucket assignment. *)
+             if not (owns_bucket bucket) then begin
+               verdict := Orderer_intf.Reject_malicious;
+               raise Exit
+             end;
              if
                (not seen_ok)
-               (* (a) request validity *)
-               || (t.config.Config.client_signatures && not (Proto.Request.signature_valid r))
                || not (Watermarks.valid t.watermarks r.id)
                (* (b) not committed in an earlier epoch *)
                || Watermarks.delivered t.watermarks r.id
-               (* (c) maps to one of the segment's buckets *)
-               || not (owns_bucket bucket)
              then begin
-               ok := false;
+               verdict := Orderer_intf.Reject;
                raise Exit
              end)
            batch
        with Exit -> ());
-      if not !ok then List.iter (Hashtbl.remove t.seen_proposed) !recorded;
-      !ok
+      if !verdict <> Orderer_intf.Accept then
+        List.iter (Hashtbl.remove t.seen_proposed) !recorded;
+      !verdict
 
 (* ------------------------------------------------------------------ *)
 (* Commit path: SB-DELIVER -> log -> delivery -> epoch advancement *)
@@ -1021,6 +1041,14 @@ and handle_message t ~src msg =
     | Proto.Message.Hotstuff { instance; _ }
     | Proto.Message.Raft { instance; _ } ->
         route_instance t ~src ~instance msg
+    | Proto.Message.Garbled _ ->
+        (* Ingress authentication (SB's authenticated channels): a message
+           whose authenticator fails verification is dropped before any
+           protocol handler sees it.  The sender — necessarily faulty, since
+           honest nodes sign correctly — thereby silences itself: its
+           instances stop making progress, view changes fill its slots with
+           ⊥, and the leader policy bans it on that log evidence. *)
+        t.auth_failures <- t.auth_failures + 1
     | Proto.Message.Reply _ | Proto.Message.Bucket_update _ | Proto.Message.Fd_heartbeat
     | Proto.Message.Mir_epoch_change _ ->
         ()
@@ -1095,6 +1123,7 @@ let create ~config ~id ~engine ~send:raw_send ~orderer_factory ?(hooks = default
       cpu_free = Time_ns.zero;
       req_cum = 0;
       locally_delivered = 0;
+      auth_failures = 0;
       halted = false;
       straggler = false;
       st_target = 0;

@@ -117,6 +117,11 @@ val delivered_count : t -> int
     state-transferred history this node never executed, which must not be
     reported as the node's own deliveries. *)
 
+val auth_failures : t -> int
+(** Messages dropped at ingress because their authenticator failed
+    verification ({!Proto.Message.Garbled}) — evidence of a Byzantine
+    sender on an authenticated channel. *)
+
 val last_stable_checkpoint : t -> Proto.Message.checkpoint_cert option
 val epoch_leaders : t -> Proto.Ids.node_id array
 (** Leaders of the node's current epoch. *)

@@ -9,6 +9,16 @@
     keeps protocol implementations free of simulator plumbing and, equally,
     keeps ISS free of protocol specifics. *)
 
+(** Outcome of follower-side proposal validation.  [Reject_malicious] is
+    reserved for {e provable} leader misbehaviour — a request whose signature
+    fails verification, or a request outside the segment's buckets — which an
+    honest leader can never produce.  Everything an honest-but-stale leader
+    could plausibly send (an already-delivered request after a lost
+    checkpoint, a watermark overflow, a duplicate in-flight proposal) is a
+    plain [Reject]: the proposal is refused but the leader is given the
+    benefit of the doubt. *)
+type verdict = Accept | Reject | Reject_malicious
+
 type ctx = {
   node : Proto.Ids.node_id;
   config : Config.t;
@@ -34,13 +44,16 @@ type ctx = {
   report_suspect : Proto.Ids.node_id -> unit;
       (** Failure-detector output towards ISS diagnostics/metrics (the
           leader policies themselves read suspicion from ⊥ log entries). *)
-  validate_proposal : Segment.t -> sn:int -> Proto.Proposal.t -> bool;
+  validate_proposal : Segment.t -> sn:int -> Proto.Proposal.t -> verdict;
       (** Follower-side acceptance checks (§4.2 principle 3): request
           validity, no duplicate proposal in the epoch, no re-proposal of
-          committed requests, bucket membership.  Recording is included: a
-          [true] result registers the batch's requests as proposed at [sn],
-          so re-validation of the same (sn, batch) stays [true] while a
-          different sn with the same requests becomes [false]. *)
+          committed requests, bucket membership.  Recording is included: an
+          [Accept] result registers the batch's requests as proposed at [sn],
+          so re-validation of the same (sn, batch) stays [Accept] while a
+          different sn with the same requests becomes a rejection.  A
+          [Reject_malicious] verdict means the proposal proves its sender
+          faulty; orderers react by demanding a leader change eagerly
+          instead of waiting out their timers. *)
 }
 
 (** What a protocol must provide to serve as an SB implementation. *)

@@ -24,6 +24,7 @@ module Orderer = struct
     mutable locked_view : int;
     mutable last_voted_view : int;
     mutable rotations : int;  (* pacemaker leader rotations *)
+    mutable complained_view : int;  (* last view eagerly rotated for a provably-bad proposal *)
     mutable i_am_leader : bool;
     mutable to_propose : int list;  (* sns still to put on the chain (leader) *)
     mutable dummies_left : int;
@@ -59,6 +60,7 @@ module Orderer = struct
       locked_view = -1;
       last_voted_view = -1;
       rotations = 0;
+      complained_view = -1;
       i_am_leader = false;
       to_propose = Array.to_list seg.Core.Segment.seq_nrs;
       dummies_left = 3;
@@ -302,7 +304,7 @@ module Orderer = struct
     in
     Iss_crypto.Threshold.verify t.ctx.Core.Orderer_intf.threshold_group material qc.Msg.qc_sig
 
-  let handle_proposal t ~src (node : Msg.chain_node) =
+  let rec handle_proposal t ~src (node : Msg.chain_node) =
     if t.active && src = current_leader t && node.Msg.view > t.last_voted_view then begin
       let justify_ok =
         match node.Msg.justify with
@@ -323,16 +325,29 @@ module Orderer = struct
             && qc.Msg.qc_view >= t.locked_view
             && qc_valid t qc
       in
-      let content_ok =
+      let content =
         match node.Msg.proposal with
-        | Proposal.Nil -> true  (* dummies and ⊥ fills are always safe *)
+        | Proposal.Nil -> Core.Orderer_intf.Accept  (* dummies and ⊥ fills are always safe *)
         | Proposal.Batch _ ->
-            node.Msg.sn >= 0
-            && Core.Segment.contains_sn t.seg node.Msg.sn
-            && src = t.seg.Core.Segment.leader
-            && t.ctx.Core.Orderer_intf.validate_proposal t.seg ~sn:node.Msg.sn
-                 node.Msg.proposal
+            if
+              node.Msg.sn >= 0
+              && Core.Segment.contains_sn t.seg node.Msg.sn
+              && src = t.seg.Core.Segment.leader
+            then
+              t.ctx.Core.Orderer_intf.validate_proposal t.seg ~sn:node.Msg.sn
+                node.Msg.proposal
+            else Core.Orderer_intf.Reject
       in
+      (match content with
+      | Core.Orderer_intf.Reject_malicious when node.Msg.view > t.complained_view ->
+          (* The proposal proves the leader faulty (forged request signature
+             or out-of-bucket request).  Rotate away from it now instead of
+             letting the pacemaker time out — once per proposal view, so a
+             spamming leader cannot drive the rotation counter by itself. *)
+          t.complained_view <- node.Msg.view;
+          on_timeout t
+      | _ -> ());
+      let content_ok = content = Core.Orderer_intf.Accept in
       if justify_ok && content_ok then begin
         (match node.Msg.justify with Some qc -> register_qc t qc | None -> ());
         Hashtbl.replace t.chain (Hash.raw (Msg.node_digest node)) node;
@@ -362,7 +377,7 @@ module Orderer = struct
 
   (* ---- Pacemaker ------------------------------------------------------ *)
 
-  let rec arm_timer t =
+  and arm_timer t =
     cancel_timer t;
     if t.active && not (done_ t) then begin
       let base = t.ctx.Core.Orderer_intf.config.Core.Config.epoch_change_timeout in

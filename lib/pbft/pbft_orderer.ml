@@ -268,28 +268,39 @@ module Orderer = struct
          segment leader originally sb-cast it.  In view 0 that is the
          sender; in later views, non-⊥ values are only replayed from
          prepared certificates, which themselves originate in view 0. *)
-      let validity =
+      let verdict =
         match proposal with
-        | Proposal.Nil -> view > 0
+        | Proposal.Nil ->
+            if view > 0 then Core.Orderer_intf.Accept else Core.Orderer_intf.Reject
         | Proposal.Batch _ ->
             t.ctx.Core.Orderer_intf.validate_proposal t.seg ~sn proposal
       in
-      if fresh && validity then begin
-        s.accepted <- Some (view, proposal);
-        let digest = Proposal.digest proposal in
-        let verify_cost =
-          match proposal with
-          | Proposal.Batch b when t.ctx.Core.Orderer_intf.config.Core.Config.client_signatures ->
-              Proto.Batch.length b * Iss_crypto.Signature.verify_cost_ns
-          | Proposal.Batch _ | Proposal.Nil -> 0
-        in
-        let vote () =
-          Hashtbl.replace s.prepares (view, t.ctx.Core.Orderer_intf.node) digest;
-          broadcast_pbft t (Msg.Prepare { view; sn; digest });
-          try_commit t s
-        in
-        if verify_cost > 0 then t.ctx.Core.Orderer_intf.charge_cpu verify_cost vote else vote ()
-      end
+      match verdict with
+      | Core.Orderer_intf.Accept when fresh ->
+          s.accepted <- Some (view, proposal);
+          let digest = Proposal.digest proposal in
+          let verify_cost =
+            match proposal with
+            | Proposal.Batch b when t.ctx.Core.Orderer_intf.config.Core.Config.client_signatures
+              ->
+                Proto.Batch.length b * Iss_crypto.Signature.verify_cost_ns
+            | Proposal.Batch _ | Proposal.Nil -> 0
+          in
+          let vote () =
+            Hashtbl.replace s.prepares (view, t.ctx.Core.Orderer_intf.node) digest;
+            broadcast_pbft t (Msg.Prepare { view; sn; digest });
+            try_commit t s
+          in
+          if verify_cost > 0 then t.ctx.Core.Orderer_intf.charge_cpu verify_cost vote
+          else vote ()
+      | Core.Orderer_intf.Reject_malicious ->
+          (* The proposal {e proves} its sender faulty (forged request
+             signature or out-of-bucket request — things an honest leader
+             cannot cut).  Don't wait out the view-change timer: demand the
+             next view immediately so the segment's slots get ⊥-filled and
+             the leader policy collects the evidence this epoch. *)
+          start_view_change t (view + 1)
+      | Core.Orderer_intf.Accept | Core.Orderer_intf.Reject -> ()
     end
 
   (* --- Leader side ---------------------------------------------------- *)

@@ -33,6 +33,7 @@ type t =
   | Hotstuff of Hotstuff_msg.t
   | Raft of Raft_msg.t
   | Mir_epoch_change of { epoch : int; primary : Ids.node_id }
+  | Garbled of t
 
 let checkpoint_material ~epoch ~max_sn ~root ~req_count ~policy =
   Printf.sprintf "checkpoint:%d:%d:%s:%d:%s" epoch max_sn (Iss_crypto.Hash.to_hex root)
@@ -42,7 +43,7 @@ let cert_size cert =
   32 + Iss_crypto.Hash.size + String.length cert.cc_policy
   + (List.length cert.cc_sigs * (8 + Iss_crypto.Signature.wire_size))
 
-let wire_size = function
+let rec wire_size = function
   | Request_msg r -> Request.wire_size r
   | Reply _ -> 32
   | Bucket_update { bucket_leaders; _ } -> 16 + (Array.length bucket_leaders * 4)
@@ -57,8 +58,9 @@ let wire_size = function
   | Hotstuff m -> Hotstuff_msg.wire_size m
   | Raft m -> Raft_msg.wire_size m
   | Mir_epoch_change _ -> 24
+  | Garbled inner -> wire_size inner
 
-let pp fmt = function
+let rec pp fmt = function
   | Request_msg r -> Format.fprintf fmt "request%a" Request.pp_id r.id
   | Reply { req_id; sn; replier } ->
       Format.fprintf fmt "reply%a@sn%d from n%d" Request.pp_id req_id sn replier
@@ -75,3 +77,4 @@ let pp fmt = function
   | Raft m -> Raft_msg.pp fmt m
   | Mir_epoch_change { epoch; primary } ->
       Format.fprintf fmt "mir-epoch-change(e%d,primary n%d)" epoch primary
+  | Garbled inner -> Format.fprintf fmt "garbled(%a)" pp inner

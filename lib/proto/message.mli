@@ -51,6 +51,12 @@ type t =
   | Raft of Raft_msg.t
   | Mir_epoch_change of { epoch : int; primary : Ids.node_id }
       (** Mir-BFT model: epoch-primary configuration announcement *)
+  | Garbled of t
+      (** A message whose authenticator (channel MAC / signature) fails
+          verification — produced only by the Byzantine adversary proxy
+          ({!Runner.Adversary}), never by honest code.  Receivers must drop
+          it at ingress; the payload is kept so wire-size accounting and
+          traces still reflect what was physically transmitted. *)
 
 val checkpoint_material :
   epoch:int -> max_sn:int -> root:Iss_crypto.Hash.t -> req_count:int -> policy:string -> string

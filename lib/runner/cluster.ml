@@ -44,6 +44,14 @@ type t = {
   mutable track_delivered_ids : bool;
   delivered_ids : (int, unit) Hashtbl.t;  (* request id keys, when tracked *)
   mutable invariants : invariant_state option;
+  mutable adversary : Adversary.t option;
+      (* None unless a Byzantine fault schedule configured one: the honest
+         send path must stay byte-identical to a build without the adversary
+         layer (fingerprint-checked by the conformance harness). *)
+  byzantine : bool array;
+      (* nodes marked Byzantine by a schedule: excluded from cross-node
+         safety/exactly-once accounting and from reply-quorum counting (the
+         checked invariants quantify over correct nodes only) *)
   tracer : Obs.Tracer.t option;
   mutable delivery_observer :
     (node:int -> sn:int -> first_request_sn:int -> Proto.Batch.t -> unit) option;
@@ -59,6 +67,20 @@ let delivered_quorum t = t.delivered_quorum
 let submitted t = t.submitted
 let reply_quorum t = t.reply_quorum
 let tracer t = t.tracer
+
+let adversary t = t.adversary
+
+let ensure_adversary t =
+  match t.adversary with
+  | Some adv -> adv
+  | None ->
+      let adv = Adversary.create ~n:t.n ~config:t.config in
+      t.adversary <- Some adv;
+      adv
+
+let mark_byzantine t node = t.byzantine.(node) <- true
+let is_byzantine t node = t.byzantine.(node)
+let byzantine_count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.byzantine
 
 let set_delivery_observer t f = t.delivery_observer <- Some f
 let set_submission_observer t f = t.submission_observer <- Some f
@@ -128,6 +150,8 @@ let register_metrics reg t =
           float_of_int (Core.Node.checkpoint_lag node));
       Obs.Registry.counter reg ~node:id ~name:"node.delivered" (fun () ->
           Core.Node.delivered_count node);
+      Obs.Registry.counter reg ~node:id ~name:"node.auth_failures" (fun () ->
+          Core.Node.auth_failures node);
       Obs.Registry.gauge reg ~node:id ~name:"node.nic.tx_backlog_s" (fun () ->
           Time_ns.to_sec_f
             (Sim.Network.nic_backlog t.net ~endpoint:id ~dir:`Tx ~peer:Sim.Network.Node));
@@ -168,6 +192,8 @@ let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~s
       track_delivered_ids = false;
       delivered_ids = Hashtbl.create 4096;
       invariants = None;
+      adversary = None;
+      byzantine = Array.make n false;
       tracer;
       delivery_observer = None;
       submission_observer = None;
@@ -183,9 +209,13 @@ let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~s
     | Some f -> f ~node:node_id ~sn ~first_request_sn batch
     | None -> ());
     (* Invariant checking (chaos harness; off unless enabled).  Violations
-       raise immediately, aborting the simulation with a readable report. *)
+       raise immediately, aborting the simulation with a readable report.
+       Nodes marked Byzantine by the schedule are exempt: the checked
+       invariants (safety, exactly-once, reply quorums) are theorems about
+       correct nodes only. *)
     (match t.invariants with
     | None -> ()
+    | Some _ when t.byzantine.(node_id) -> ()
     | Some inv ->
         let digest = Proto.Proposal.digest (Proto.Proposal.Batch batch) in
         let now_s = Time_ns.to_sec_f (Engine.now t.engine) in
@@ -235,7 +265,10 @@ let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~s
           Hashtbl.replace t.quorums sn q;
           q
     in
-    q.count <- q.count + 1;
+    (* A Byzantine node's reply must not count towards the f+1 reply quorum:
+       clients cannot trust it, and the liveness invariant demands a quorum
+       of correct replies. *)
+    if not t.byzantine.(node_id) then q.count <- q.count + 1;
     if (not q.reached) && q.count >= t.reply_quorum then begin
       q.reached <- true;
       let now = Engine.now t.engine in
@@ -291,7 +324,17 @@ let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~s
     Array.init n (fun id ->
         Core.Node.create ~config ~id ~engine
           ~send:(fun ~dst msg ->
-            Sim.Network.send net ~src:id ~dst ~size:(Proto.Message.wire_size msg) msg)
+            (* Byzantine adversary proxy: one mutable-field check on the
+               honest path.  When a schedule configured an adversary, the
+               node's outgoing traffic is routed through it — the node
+               itself keeps running honest code; only the wire lies. *)
+            match t.adversary with
+            | None -> Sim.Network.send net ~src:id ~dst ~size:(Proto.Message.wire_size msg) msg
+            | Some adv ->
+                List.iter
+                  (fun (dst, msg) ->
+                    Sim.Network.send net ~src:id ~dst ~size:(Proto.Message.wire_size msg) msg)
+                  (Adversary.route adv ~src:id ~dst msg))
           ~orderer_factory:(factory_for config) ~hooks ?tracer ())
   in
   t.nodes <- nodes;

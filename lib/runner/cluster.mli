@@ -62,6 +62,23 @@ val crash_epoch_end : t -> node:int -> unit
 val set_stragglers : t -> int list -> unit
 (** Byzantine stragglers (§6.4.2). *)
 
+(** {2 Active-malice adversary (DESIGN.md §10)} *)
+
+val ensure_adversary : t -> Adversary.t
+(** The cluster's adversary proxy, created on first use.  Until this is
+    called, every node's send path is the direct network send — honest runs
+    never pay for (or observe) the adversary layer. *)
+
+val adversary : t -> Adversary.t option
+
+val mark_byzantine : t -> int -> unit
+(** Exempt a node from the cross-node safety / exactly-once invariants and
+    from reply-quorum counting: the checked invariants quantify over correct
+    nodes only.  {!Faults.apply} marks every node its schedule attacks. *)
+
+val is_byzantine : t -> int -> bool
+val byzantine_count : t -> int
+
 (** {2 Invariant checking (chaos harness)} *)
 
 exception Invariant_violation of string

@@ -38,7 +38,10 @@ let run ?engine ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s 
   (match scenario with
   | None -> ()
   | Some sc ->
-      (match Faults.validate sc ~n with
+      let protocol =
+        match system with Cluster.Iss p | Cluster.Single p -> Some p | Cluster.Mir -> None
+      in
+      (match Faults.validate ?protocol sc ~n with
       | Ok () -> ()
       | Error e ->
           invalid_arg (Printf.sprintf "fault scenario %S: %s" (Faults.name sc) e));

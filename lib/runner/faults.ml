@@ -10,6 +10,14 @@ type spec =
   | Drop of { prob : float; from_s : float; until_s : float }
   | Straggle of { node : int; from_s : float; until_s : float }
   | Slow_link of { a : int; b : int; extra : Time_ns.span; from_s : float; until_s : float }
+  (* Active-malice windows (Byzantine adversary; DESIGN.md §10).  During the
+     window the node's outgoing traffic is rewritten by the cluster's
+     {!Adversary} proxy while the node itself keeps running honest code. *)
+  | Equivocate of { node : int; from_s : float; until_s : float }
+  | Censor of { node : int; buckets : int list; from_s : float; until_s : float }
+  | Corrupt_sig of { node : int; from_s : float; until_s : float }
+  | Replay of { node : int; from_s : float; until_s : float }
+  | Bad_checkpoint of { node : int; from_s : float; until_s : float }
 
 type t = { name : string; spec : spec list }
 
@@ -20,6 +28,11 @@ let spec t = t.spec
 (* ------------------------------------------------------------------ *)
 (* Introspection *)
 
+(* Every window-based spec must contribute its [until_s] here: [heal_s] is
+   the moment the liveness grace period starts counting, and a forgotten
+   constructor would start it while the fault is still active.  A unit test
+   (test_byzantine.ml) enumerates all constructors against this function so
+   adding a spec without extending it fails to compile. *)
 let last_event_s = function
   | Crash { at_s; _ } | Recover { at_s; _ } -> at_s
   | Crash_recover { at_s; down_s; _ } -> at_s +. down_s
@@ -27,8 +40,31 @@ let last_event_s = function
   | Split { until_s; _ }
   | Drop { until_s; _ }
   | Straggle { until_s; _ }
-  | Slow_link { until_s; _ } ->
+  | Slow_link { until_s; _ }
+  | Equivocate { until_s; _ }
+  | Censor { until_s; _ }
+  | Corrupt_sig { until_s; _ }
+  | Replay { until_s; _ }
+  | Bad_checkpoint { until_s; _ } ->
       until_s
+
+(* The Byzantine specs, as (node, window); [None] for benign faults. *)
+let byzantine_window = function
+  | Equivocate { node; from_s; until_s }
+  | Censor { node; from_s; until_s; _ }
+  | Corrupt_sig { node; from_s; until_s }
+  | Replay { node; from_s; until_s }
+  | Bad_checkpoint { node; from_s; until_s } ->
+      Some (node, from_s, until_s)
+  | Crash _ | Recover _ | Crash_recover _ | Isolate _ | Split _ | Drop _ | Straggle _
+  | Slow_link _ ->
+      None
+
+let byzantine_nodes t =
+  List.sort_uniq compare
+    (List.filter_map (fun s -> Option.map (fun (n, _, _) -> n) (byzantine_window s)) t.spec)
+
+let has_byzantine t = byzantine_nodes t <> []
 
 let heal_s t = List.fold_left (fun acc e -> Float.max acc (last_event_s e)) 0.0 t.spec
 
@@ -50,6 +86,22 @@ let pp_spec fmt = function
   | Slow_link { a; b; extra; from_s; until_s } ->
       Format.fprintf fmt "link %d<->%d +%a during [%gs, %gs]" a b Time_ns.pp extra from_s
         until_s
+  | Equivocate { node; from_s; until_s } ->
+      Format.fprintf fmt "node %d equivocates during [%gs, %gs]" node from_s until_s
+  | Censor { node; buckets = []; from_s; until_s } ->
+      Format.fprintf fmt "node %d censors all requests during [%gs, %gs]" node from_s until_s
+  | Censor { node; buckets; from_s; until_s } ->
+      Format.fprintf fmt "node %d censors buckets {%s} during [%gs, %gs]" node
+        (String.concat "," (List.map string_of_int buckets))
+        from_s until_s
+  | Corrupt_sig { node; from_s; until_s } ->
+      Format.fprintf fmt "node %d emits unverifiable signatures during [%gs, %gs]" node from_s
+        until_s
+  | Replay { node; from_s; until_s } ->
+      Format.fprintf fmt "node %d replays stale messages during [%gs, %gs]" node from_s until_s
+  | Bad_checkpoint { node; from_s; until_s } ->
+      Format.fprintf fmt "node %d advertises corrupt checkpoints during [%gs, %gs]" node from_s
+        until_s
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>scenario %S (heals at %gs):@,%a@]" t.name (heal_s t)
@@ -58,10 +110,24 @@ let pp fmt t =
 (* ------------------------------------------------------------------ *)
 (* Validation *)
 
-let validate t ~n =
+let ( let* ) = Result.bind
+
+let validate ?protocol ?(warn = fun (_ : string) -> ()) t ~n =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let check_node node = node >= 0 && node < n in
   let check_window ~from_s ~until_s = from_s >= 0.0 && until_s > from_s in
+  let check_byzantine ~node ~from_s ~until_s =
+    if not (check_node node) then fail "node %d out of range [0,%d)" node n
+    else if not (check_window ~from_s ~until_s) then fail "bad window [%g, %g]" from_s until_s
+    else
+      match protocol with
+      | Some Core.Config.Raft ->
+          fail
+            "Byzantine fault on node %d: Raft is a crash-fault-tolerant protocol and makes no \
+             guarantees against active malice; Byzantine specs require PBFT or HotStuff"
+            node
+      | Some Core.Config.PBFT | Some Core.Config.HotStuff | None -> Ok ()
+  in
   let rec go = function
     | [] -> Ok ()
     | e :: rest -> (
@@ -106,10 +172,60 @@ let validate t ~n =
               else if not (check_window ~from_s ~until_s) then
                 fail "bad window [%g, %g]" from_s until_s
               else Ok ()
+          | Equivocate { node; from_s; until_s }
+          | Corrupt_sig { node; from_s; until_s }
+          | Replay { node; from_s; until_s }
+          | Bad_checkpoint { node; from_s; until_s } ->
+              check_byzantine ~node ~from_s ~until_s
+          | Censor { node; buckets; from_s; until_s } ->
+              let num_buckets = 16 * n in
+              (* buckets_per_leader defaults to 16; the exact bound is
+                 re-checked against the real config when the batch is cut,
+                 so this only guards against obviously-nonsense specs. *)
+              if List.exists (fun b -> b < 0 || b >= num_buckets) buckets then
+                fail "censor bucket out of range [0,%d)" num_buckets
+              else check_byzantine ~node ~from_s ~until_s
         in
         match ok with Ok () -> go rest | Error _ as e -> e)
   in
-  go t.spec
+  let* () = go t.spec in
+  (* Cross-spec checks over the Byzantine windows. *)
+  let windows = List.filter_map byzantine_window t.spec in
+  (* Overlapping windows on the same node compose in unspecified ways (the
+     proxy holds one active attack per node); allowed, but flagged. *)
+  let rec warn_overlaps = function
+    | [] -> ()
+    | (node, f0, u0) :: rest ->
+        List.iter
+          (fun (node', f1, u1) ->
+            if node = node' && f0 < u1 && f1 < u0 then
+              warn
+                (Printf.sprintf
+                   "overlapping Byzantine windows on node %d ([%g, %g] and [%g, %g]): the later \
+                    activation replaces the earlier attack"
+                   node f0 u0 f1 u1))
+          rest;
+        warn_overlaps rest
+  in
+  warn_overlaps windows;
+  (* At most f nodes may be Byzantine at any instant — beyond that the BFT
+     protocols promise nothing and every "violation" the harness would
+     report is vacuous. *)
+  let f = Proto.Ids.max_faulty ~n in
+  let concurrent_at from_s =
+    List.filter (fun (_, f1, u1) -> f1 <= from_s && from_s < u1) windows
+    |> List.map (fun (node, _, _) -> node)
+    |> List.sort_uniq compare |> List.length
+  in
+  let worst =
+    List.fold_left (fun acc (_, from_s, _) -> max acc (concurrent_at from_s)) 0 windows
+  in
+  if worst > f then
+    fail
+      "%d nodes are concurrently Byzantine but n=%d only tolerates f=%d; the harness refuses \
+       schedules whose safety claims would be vacuous"
+      worst n f
+  else Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* Compilation to simulator events *)
@@ -136,6 +252,16 @@ let apply t cluster =
              if Hashtbl.mem isolated id then 2 + id
              else if List.mem id minority then 1
              else 0))
+  in
+  (* Byzantine windows: instantiate the adversary proxy (only schedules that
+     get here pay for it — honest runs keep the direct send path), mark the
+     node for invariant exemption, and bracket the attack with engine
+     events. *)
+  let byzantine ~node ~from_s ~until_s attack =
+    let adv = Cluster.ensure_adversary cluster in
+    Cluster.mark_byzantine cluster node;
+    at from_s (fun () -> Adversary.set_attack adv ~node (Some attack));
+    at until_s (fun () -> Adversary.set_attack adv ~node None)
   in
   (* Same single-active-function situation for link-latency spikes. *)
   let slow_links : (int * int, Time_ns.span) Hashtbl.t = Hashtbl.create 4 in
@@ -183,7 +309,17 @@ let apply t cluster =
               refresh_links ());
           at until_s (fun () ->
               Hashtbl.remove slow_links key;
-              refresh_links ()))
+              refresh_links ())
+      | Equivocate { node; from_s; until_s } ->
+          byzantine ~node ~from_s ~until_s Adversary.Equivocate
+      | Censor { node; buckets; from_s; until_s } ->
+          byzantine ~node ~from_s ~until_s (Adversary.Censor { buckets })
+      | Corrupt_sig { node; from_s; until_s } ->
+          byzantine ~node ~from_s ~until_s Adversary.Corrupt_sig
+      | Replay { node; from_s; until_s } ->
+          byzantine ~node ~from_s ~until_s Adversary.Replay
+      | Bad_checkpoint { node; from_s; until_s } ->
+          byzantine ~node ~from_s ~until_s Adversary.Bad_checkpoint)
     t.spec
 
 (* ------------------------------------------------------------------ *)
@@ -247,10 +383,34 @@ let named ~n name =
              Slow_link
                { a = 0; b = victim; extra = Time_ns.ms 200; from_s = 5.0; until_s = 25.0 };
            ])
+  (* Active-malice scenarios (BFT protocols only; validation rejects them
+     for Raft).  One attacker, one window; the paired-defense acceptance
+     tests (test_byzantine.ml) run exactly these. *)
+  | "byz-equivocate" -> Ok (make ~name [ Equivocate { node = victim; from_s = 2.0; until_s = 22.0 } ])
+  | "byz-censor" ->
+      Ok (make ~name [ Censor { node = victim; buckets = []; from_s = 2.0; until_s = 22.0 } ])
+  | "byz-corrupt-sig" ->
+      Ok (make ~name [ Corrupt_sig { node = victim; from_s = 2.0; until_s = 22.0 } ])
+  | "byz-replay" -> Ok (make ~name [ Replay { node = victim; from_s = 2.0; until_s = 22.0 } ])
+  | "byz-bad-checkpoint" ->
+      (* The corrupt-checkpoint attack only bites when someone consumes
+         checkpoints: pair it with a crash-recovery so the recovering node
+         must state-transfer while the attacker (one of the f+1 peers it
+         asks) serves poisoned certificates. *)
+      Ok
+        (make ~name
+           [
+             Bad_checkpoint { node = victim; from_s = 2.0; until_s = 40.0 };
+             Crash_recover { node = far; at_s = 8.0; down_s = 12.0 };
+           ])
   | other -> Error (Printf.sprintf "unknown fault scenario %S" other)
+
+let byz_scenario_names =
+  [ "byz-equivocate"; "byz-censor"; "byz-corrupt-sig"; "byz-replay"; "byz-bad-checkpoint" ]
 
 let scenario_names =
   [ "crash-recover"; "partition-heal"; "split-brain"; "lossy"; "straggler-window"; "slow-link"; "chaos" ]
+  @ byz_scenario_names
 
 (* ------------------------------------------------------------------ *)
 (* Randomized chaos schedules *)
@@ -296,3 +456,37 @@ let random ~seed ~n ~duration_s =
     now := until_s +. Sim.Rng.uniform_range rng ~lo:(0.02 *. d) ~hi:(0.08 *. d)
   done;
   make ~name:(Printf.sprintf "chaos-%Ld" seed) (List.rev !events)
+
+let random_byzantine ~seed ~n ~duration_s =
+  let rng = Sim.Rng.create ~seed in
+  (* One attacker, one window — at most one Byzantine node at a time keeps
+     the run inside the f-bound for every n >= 4.  The window opens early
+     and closes at half the run so epochs after it can demonstrate
+     recovery. *)
+  let d = duration_s in
+  let from_s = Sim.Rng.uniform_range rng ~lo:(0.08 *. d) ~hi:(0.2 *. d) in
+  let until_s = Sim.Rng.uniform_range rng ~lo:(0.4 *. d) ~hi:(0.5 *. d) in
+  let victim = Sim.Rng.int rng n in
+  let events =
+    match Sim.Rng.int rng 5 with
+    | 0 -> [ Equivocate { node = victim; from_s; until_s } ]
+    | 1 ->
+        let buckets =
+          if Sim.Rng.bool rng then []
+          else [ Sim.Rng.int rng (16 * n) ]
+        in
+        [ Censor { node = victim; buckets; from_s; until_s } ]
+    | 2 -> [ Corrupt_sig { node = victim; from_s; until_s } ]
+    | 3 -> [ Replay { node = victim; from_s; until_s } ]
+    | _ ->
+        (* Make the corrupted checkpoints matter: a different node
+           crash-recovers inside the attack window and must state-transfer
+           past the attacker's poisoned certificates. *)
+        let other = (victim + 1 + Sim.Rng.int rng (n - 1)) mod n in
+        [
+          Bad_checkpoint { node = victim; from_s; until_s };
+          Crash_recover
+            { node = other; at_s = from_s +. 0.1 *. d; down_s = 0.15 *. d };
+        ]
+  in
+  make ~name:(Printf.sprintf "byz-%Ld" seed) events

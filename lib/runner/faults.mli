@@ -40,6 +40,23 @@ type spec =
     }
       (** Add [extra] propagation latency to both directions of one link
           during the window. *)
+  | Equivocate of { node : int; from_s : float; until_s : float }
+      (** Active malice: the node sends conflicting proposals for the same
+          sequence number to disjoint receiver subsets (see
+          {!Adversary.attack}).  BFT protocols only. *)
+  | Censor of { node : int; buckets : int list; from_s : float; until_s : float }
+      (** Active malice: the node filters requests of the given buckets out
+          of the proposals it sends ([buckets = []] censors everything).
+          BFT protocols only. *)
+  | Corrupt_sig of { node : int; from_s : float; until_s : float }
+      (** Active malice: every control message the node sends carries an
+          invalid authenticator.  BFT protocols only. *)
+  | Replay of { node : int; from_s : float; until_s : float }
+      (** Active malice: the node re-injects stale protocol messages and
+          previously proposed client requests.  BFT protocols only. *)
+  | Bad_checkpoint of { node : int; from_s : float; until_s : float }
+      (** Active malice: the node corrupts the state root in its checkpoint
+          votes and state-transfer certificates.  BFT protocols only. *)
 
 type t
 
@@ -52,9 +69,24 @@ val heal_s : t -> float
     every scheduled recovery has happened.  Liveness is judged a grace period
     after this point. *)
 
-val validate : t -> n:int -> (unit, string) result
+val validate :
+  ?protocol:Core.Config.protocol ->
+  ?warn:(string -> unit) ->
+  t ->
+  n:int ->
+  (unit, string) result
 (** Check node ids against the cluster size, window sanity, probability
-    ranges, and that splits leave a majority intact. *)
+    ranges, and that splits leave a majority intact.  Byzantine specs are
+    additionally rejected when [protocol] is [Raft] (a crash-fault-tolerant
+    protocol makes no Byzantine promises) and when more than
+    [Proto.Ids.max_faulty ~n] distinct nodes would be Byzantine at the same
+    instant.  Overlapping attack windows on the {e same} node are legal but
+    suspicious (the later window wins) — they are reported through [warn]. *)
+
+val byzantine_nodes : t -> int list
+(** Sorted, deduplicated ids of nodes with at least one active-malice spec. *)
+
+val has_byzantine : t -> bool
 
 val apply : t -> Cluster.t -> unit
 (** Compile the schedule to simulator events (call before running the
@@ -71,7 +103,14 @@ val liveness_grace_s : Core.Config.t -> float
 
 val named : n:int -> string -> (t, string) result
 (** Built-in scenarios: ["crash-recover"], ["partition-heal"],
-    ["split-brain"], ["lossy"], ["straggler-window"], ["slow-link"]. *)
+    ["split-brain"], ["lossy"], ["straggler-window"], ["slow-link"], plus the
+    active-malice scenarios ["byz-equivocate"], ["byz-censor"],
+    ["byz-corrupt-sig"], ["byz-replay"] and ["byz-bad-checkpoint"] (the last
+    pairs the attack with a crash-recovery so the recovering node must
+    state-transfer past the attacker's poisoned certificates). *)
+
+val byz_scenario_names : string list
+(** The active-malice subset of {!scenario_names}. *)
 
 val scenario_names : string list
 (** Names accepted by {!named}, plus ["chaos"] (seed-derived {!random}). *)
@@ -80,5 +119,11 @@ val random : seed:int64 -> n:int -> duration_s:float -> t
 (** Generate a randomized schedule of sequential, non-overlapping fault
     windows (at most one fault active at a time, so a connected correct
     quorum always exists and liveness must hold).  Deterministic in [seed]. *)
+
+val random_byzantine : seed:int64 -> n:int -> duration_s:float -> t
+(** Generate a schedule with a single active-malice window (one attacker,
+    one attack kind, opening early and closing by mid-run); a
+    [Bad_checkpoint] draw also crash-recovers a second node inside the
+    window.  Deterministic in [seed].  BFT protocols only. *)
 
 val pp : Format.formatter -> t -> unit

@@ -305,6 +305,39 @@ let test_policy_straggler_aware () =
   Core.Leader_policy.epoch_finished p3 ~epoch:0 ~failed:[ (2, 11) ] ();
   check_bool "crash evidence bans too" true (Core.Leader_policy.is_banned p3 2)
 
+(* The leader policy is evaluated locally at every node from log-derived
+   evidence alone (§3.4): two replicas fed identical evidence must stay in
+   lockstep — identical snapshots (which checkpoint signatures cover) and
+   identical leader sets — over any 100-epoch evidence stream.  A policy
+   that consulted anything local (RNG, wall clock, insertion order) would
+   wedge checkpoint quorums. *)
+let prop_policy_determinism =
+  let open QCheck in
+  let n = 7 in
+  let epoch_evidence =
+    (* Per epoch: ⊥ evidence as (leader, sn) pairs. *)
+    Gen.list_size (Gen.int_range 0 3) (Gen.pair (Gen.int_range 0 (n - 1)) (Gen.int_range 0 10_000))
+  in
+  Test.make ~name:"identical evidence keeps two policies in lockstep" ~count:30
+    (make (Gen.list_size (Gen.return 100) epoch_evidence))
+    (fun evidence ->
+      List.for_all
+        (fun kind ->
+          let p1 = mk_policy kind n and p2 = mk_policy kind n in
+          let ok = ref true in
+          List.iteri
+            (fun epoch failed ->
+              Core.Leader_policy.epoch_finished p1 ~epoch ~failed ();
+              Core.Leader_policy.epoch_finished p2 ~epoch ~failed ();
+              if
+                Core.Leader_policy.snapshot p1 <> Core.Leader_policy.snapshot p2
+                || Core.Leader_policy.leaders p1 ~epoch:(epoch + 1)
+                   <> Core.Leader_policy.leaders p2 ~epoch:(epoch + 1)
+              then ok := false)
+            evidence;
+          !ok)
+        [ Core.Config.Blacklist; Core.Config.Backoff ])
+
 let test_policy_fixed () =
   let p = mk_policy (Core.Config.Fixed [ 0 ]) 5 in
   Core.Leader_policy.epoch_finished p ~epoch:0 ~failed:[ (0, 3) ] ();
@@ -643,6 +676,7 @@ let () =
           Alcotest.test_case "STRAGGLER-AWARE" `Quick test_policy_straggler_aware;
           Alcotest.test_case "FIXED" `Quick test_policy_fixed;
           Alcotest.test_case "snapshot roundtrip" `Quick test_policy_snapshot_roundtrip;
+          qc prop_policy_determinism;
         ] );
       ( "log",
         [

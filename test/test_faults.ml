@@ -65,6 +65,54 @@ let test_named_scenarios () =
   | Ok _ -> Alcotest.fail "named accepted an unknown scenario"
   | Error _ -> ()
 
+(* Exhaustive by construction: the inner match must cover every [spec]
+   constructor (no wildcard), so adding a fault kind fails to compile until
+   its heal time is decided here — keeping [heal_s] uniform across window
+   specs. *)
+let test_heal_time_all_constructors () =
+  let expected (s : Faults.spec) =
+    match s with
+    | Faults.Crash { at_s; _ } | Faults.Recover { at_s; _ } -> at_s
+    | Faults.Crash_recover { at_s; down_s; _ } -> at_s +. down_s
+    | Faults.Isolate { until_s; _ }
+    | Faults.Split { until_s; _ }
+    | Faults.Drop { until_s; _ }
+    | Faults.Straggle { until_s; _ }
+    | Faults.Slow_link { until_s; _ }
+    | Faults.Equivocate { until_s; _ }
+    | Faults.Censor { until_s; _ }
+    | Faults.Corrupt_sig { until_s; _ }
+    | Faults.Replay { until_s; _ }
+    | Faults.Bad_checkpoint { until_s; _ } ->
+        until_s
+  in
+  let one_of_each =
+    [
+      Faults.Crash { node = 0; at_s = 3.0 };
+      Faults.Recover { node = 0; at_s = 7.0 };
+      Faults.Crash_recover { node = 1; at_s = 2.0; down_s = 4.0 };
+      Faults.Isolate { node = 2; from_s = 1.0; until_s = 5.0 };
+      Faults.Split { minority = [ 3 ]; from_s = 1.0; until_s = 6.0 };
+      Faults.Drop { prob = 0.05; from_s = 0.5; until_s = 4.5 };
+      Faults.Straggle { node = 2; from_s = 2.0; until_s = 9.0 };
+      Faults.Slow_link { a = 0; b = 1; extra = Time_ns.ms 100; from_s = 1.0; until_s = 8.0 };
+      Faults.Equivocate { node = 1; from_s = 2.0; until_s = 11.0 };
+      Faults.Censor { node = 1; buckets = []; from_s = 2.0; until_s = 12.0 };
+      Faults.Corrupt_sig { node = 1; from_s = 2.0; until_s = 13.0 };
+      Faults.Replay { node = 1; from_s = 2.0; until_s = 14.0 };
+      Faults.Bad_checkpoint { node = 1; from_s = 2.0; until_s = 15.0 };
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9))
+        "heal time of a singleton schedule" (expected s)
+        (Faults.heal_s (Faults.make ~name:"one" [ s ])))
+    one_of_each;
+  Alcotest.(check (float 1e-9))
+    "heal time of the whole schedule is the latest event" 15.0
+    (Faults.heal_s (Faults.make ~name:"all" one_of_each))
+
 let test_random_deterministic () =
   let show sc = Format.asprintf "%a" Faults.pp sc in
   let a = Faults.random ~seed:42L ~n:4 ~duration_s:60.0 in
@@ -285,6 +333,8 @@ let () =
         [
           Alcotest.test_case "validate rejects bad schedules" `Quick test_validate_rejects;
           Alcotest.test_case "named scenarios resolve" `Quick test_named_scenarios;
+          Alcotest.test_case "heal time covers every constructor" `Quick
+            test_heal_time_all_constructors;
           Alcotest.test_case "random schedules are deterministic" `Quick
             test_random_deterministic;
         ] );

@@ -61,7 +61,7 @@ let make_world ~n ~config ~segment ~factory ~batch_source =
       keypair = Iss_crypto.Signature.genkey ~id:me;
       threshold_group = Iss_crypto.Threshold.setup ~n ~t:(Proto.Ids.quorum ~n);
       report_suspect = (fun _ -> ());
-      validate_proposal = (fun _seg ~sn:_ _proposal -> true);
+      validate_proposal = (fun _seg ~sn:_ _proposal -> Core.Orderer_intf.Accept);
     }
   in
   for me = 0 to n - 1 do
