@@ -382,12 +382,38 @@ let conform_cmd =
             in
             Format.printf "replaying %a against %s@." Conform.Scenario.pp sc
               (String.concat ", " (List.map Core.Config.protocol_name protocols));
+            (* Behaviour fingerprint check: print each protocol's SHA-256
+               fingerprint and, when the repro file carries a committed
+               "fingerprints" field, verify bit-identity against it. *)
+            let pinned p =
+              match Obs.Jsonx.member "fingerprints" json with
+              | Some (Obs.Jsonx.Obj kvs) -> (
+                  match List.assoc_opt (Core.Config.protocol_name p) kvs with
+                  | Some (Obs.Jsonx.String fp) -> Some fp
+                  | _ -> None)
+              | _ -> None
+            in
             let rec go = function
               | [] -> Format.printf "conformance: OK@."
               | p :: rest -> (
                   match Conform.Harness.check_protocol sc p with
-                  | Ok () -> go rest
-                  | Error f -> fail_and_exit ~shrink ~save f)
+                  | Error f -> fail_and_exit ~shrink ~save f
+                  | Ok () -> (
+                      match Conform.Harness.run_protocol ~instrumented:false sc p with
+                      | Error e ->
+                          Format.eprintf "%s: %s@." (Core.Config.protocol_name p) e;
+                          exit 1
+                      | Ok r -> (
+                          Format.printf "%s fingerprint %s@."
+                            (Core.Config.protocol_name p) r.Conform.Harness.fingerprint;
+                          match pinned p with
+                          | Some expected when expected <> r.Conform.Harness.fingerprint ->
+                              Format.eprintf
+                                "%s: fingerprint drifted from committed value %s@."
+                                (Core.Config.protocol_name p) expected;
+                              exit 1
+                          | Some _ -> Format.printf "  matches committed fingerprint@."; go rest
+                          | None -> go rest)))
             in
             go protocols))
   in

@@ -1,53 +1,49 @@
-type event = {
-  time : Time_ns.t;
-  seq : int;
-  mutable cancelled : bool;
-  action : unit -> unit;
-}
+module Q = Event_queue
 
-type timer_id = event
+type timer_id = Q.event
 
 type t = {
-  queue : event Heap.t;
+  queue : Q.t;
   mutable clock : Time_ns.t;
-  mutable next_seq : int;
   mutable executed : int;
 }
 
-let compare_event a b =
-  if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
-
-let create () =
-  { queue = Heap.create ~cmp:compare_event; clock = Time_ns.zero; next_seq = 0; executed = 0 }
-
+let create () = { queue = Q.create (); clock = Time_ns.zero; executed = 0 }
 let now t = t.clock
 
 let schedule_at t ~at action =
   let at = if at < t.clock then t.clock else at in
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  let ev = { time = at; seq; cancelled = false; action } in
-  Heap.push t.queue ev;
-  ev
+  Q.add t.queue ~time:at action
 
 let schedule t ~delay action =
   let delay = if delay < 0 then 0 else delay in
   schedule_at t ~at:(Time_ns.add t.clock delay) action
 
-let cancel _t ev = ev.cancelled <- true
+let post_at t ~at action =
+  let at = if at < t.clock then t.clock else at in
+  Q.add_anon t.queue ~time:at action
 
-let pending t = Heap.length t.queue
+let post t ~delay action =
+  let delay = if delay < 0 then 0 else delay in
+  post_at t ~at:(Time_ns.add t.clock delay) action
+
+let cancel t ev = Q.cancel t.queue ev
+let pending t = Q.live t.queue
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-      t.clock <- ev.time;
-      if not ev.cancelled then begin
-        t.executed <- t.executed + 1;
-        ev.action ()
-      end;
-      true
+  let ev = Q.pop t.queue in
+  if ev == Q.nil then false
+  else begin
+    (* The guard matters after a [run ~until] parked the clock past the
+       last executed event: a same-instant event scheduled right at the
+       limit must not move time backwards. *)
+    if ev.Q.time > t.clock then t.clock <- ev.Q.time;
+    let action = ev.Q.action in
+    Q.release t.queue ev;
+    t.executed <- t.executed + 1;
+    action ();
+    true
+  end
 
 let run ?until t =
   match until with
@@ -55,11 +51,15 @@ let run ?until t =
   | Some limit ->
       let continue = ref true in
       while !continue do
-        match Heap.peek t.queue with
-        | Some ev when ev.time <= limit -> ignore (step t)
-        | Some _ | None ->
-            t.clock <- limit;
-            continue := false
+        let ev = Q.peek t.queue in
+        if ev != Q.nil && ev.Q.time <= limit then ignore (step t)
+        else begin
+          (* Clamp, don't assign: a later [run ~until] with an *earlier*
+             limit must never rewind the clock below where a previous run
+             already advanced it. *)
+          if limit > t.clock then t.clock <- limit;
+          continue := false
+        end
       done
 
 let events_executed t = t.executed

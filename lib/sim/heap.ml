@@ -9,12 +9,27 @@ let create ~cmp = { cmp; data = [||]; size = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
 
+(* Overwrite a vacated slot so the heap stops retaining the element.  The
+   backing array is generic, so there is no ['a] filler value to hand;
+   an immediate smuggled in through [Obj] is GC-safe in a boxed array.
+   Flat float arrays ([double_array_tag]) hold no pointers — nothing to
+   release, and poking an immediate into one would corrupt it — so they
+   are left alone. *)
+let clear_slot (data : 'a array) i =
+  let r = Obj.repr data in
+  if Obj.tag r <> Obj.double_array_tag then Obj.set_field r i (Obj.repr 0)
+
 let grow t x =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
     let ndata = Array.make ncap x in
     Array.blit t.data 0 ndata 0 t.size;
+    (* [Array.make] filled the tail with [x]; drop those extra references
+       so the spare capacity doesn't pin [x] after it is popped. *)
+    for i = t.size to ncap - 1 do
+      clear_slot ndata i
+    done;
     t.data <- ndata
   end
 
@@ -56,9 +71,16 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
+    (* The slot past the new end still references the element just moved
+       down (or [top] itself when the heap emptied): release it. *)
+    clear_slot t.data t.size;
     Some top
   end
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let clear t = t.size <- 0
+let clear t =
+  (* Dropping the whole array releases every element at once (and the
+     capacity — a cleared heap is usually done growing). *)
+  t.data <- [||];
+  t.size <- 0

@@ -1,8 +1,12 @@
-(** Array-backed binary min-heap, the simulator's event queue core.
+(** Array-backed binary min-heap.
 
-    Elements are ordered by a user-supplied comparison.  The simulator orders
-    events by [(time, insertion sequence)] so that simultaneous events fire in
-    a deterministic FIFO order. *)
+    Elements are ordered by a user-supplied comparison.  (The engine's own
+    event queue is the specialized {!Event_queue}; this generic heap serves
+    everything else that needs one.)
+
+    Popped and cleared elements are released immediately: the heap never
+    retains a reference past its logical size, so it can't keep dead
+    elements (and whatever they capture) alive behind the GC's back. *)
 
 type 'a t
 
@@ -14,8 +18,10 @@ val is_empty : 'a t -> bool
 val push : 'a t -> 'a -> unit
 
 val pop : 'a t -> 'a option
-(** Removes and returns the minimum element, or [None] when empty. *)
+(** Removes and returns the minimum element, or [None] when empty.  The
+    vacated storage slot is overwritten — the heap drops its reference. *)
 
 val peek : 'a t -> 'a option
 
 val clear : 'a t -> unit
+(** Empties the heap, releasing all elements and the backing storage. *)

@@ -11,4 +11,5 @@ let to_sec_f t = float_of_int t /. 1e9
 let to_ms_f t = float_of_int t /. 1e6
 let add t d = t + d
 let diff a b = a - b
+let max (a : int) b = if a < b then b else a
 let pp fmt t = Format.fprintf fmt "%.3fs" (to_sec_f t)

@@ -26,5 +26,9 @@ val to_ms_f : span -> float
 val add : t -> span -> t
 val diff : t -> t -> span
 
+val max : t -> t -> t
+(** Monomorphic [max]: Stdlib's polymorphic compare costs a C call per use,
+    which matters on the NIC horizon updates (two per message). *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders as seconds with millisecond precision, e.g. ["12.345s"]. *)

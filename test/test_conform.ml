@@ -212,6 +212,18 @@ let protocol_of_name s =
   | "raft" -> Some Core.Config.Raft
   | _ -> None
 
+(* Committed behaviour fingerprints: an engine or network change that
+   reorders even one event delivery shows up here as a mismatch.  Update the
+   corpus file's "fingerprints" field only for an *intentional* behaviour
+   change. *)
+let pinned_fingerprint json proto =
+  match Obs.Jsonx.member "fingerprints" json with
+  | Some (Obs.Jsonx.Obj kvs) -> (
+      match List.assoc_opt (Core.Config.protocol_name proto) kvs with
+      | Some (Obs.Jsonx.String fp) -> Some fp
+      | _ -> None)
+  | _ -> None
+
 let replay_corpus_file file () =
   let path = Filename.concat corpus_dir file in
   let contents = In_channel.with_open_text path In_channel.input_all in
@@ -234,11 +246,43 @@ let replay_corpus_file file () =
           in
           List.iter
             (fun p ->
-              match Harness.check_protocol sc p with
+              (match Harness.check_protocol sc p with
               | Ok () -> ()
               | Error f ->
-                  Alcotest.failf "%s regressed: %s" file (Harness.failure_message f))
+                  Alcotest.failf "%s regressed: %s" file (Harness.failure_message f));
+              match pinned_fingerprint json p with
+              | None -> ()
+              | Some expected -> (
+                  match Harness.run_protocol ~instrumented:false sc p with
+                  | Error e -> Alcotest.failf "%s: replay failed: %s" file e
+                  | Ok r ->
+                      Alcotest.(check string)
+                        (Printf.sprintf "%s %s fingerprint pinned" file
+                           (Core.Config.protocol_name p))
+                        expected r.Harness.fingerprint))
             protocols)
+
+(* The tier-1 fixed seed's fingerprints, pinned as constants: the engine
+   rebuild (timing wheel) was required to reproduce these bit-identically,
+   and any future scheduling change must be equally intentional. *)
+let seed9_fingerprints =
+  [
+    (Core.Config.PBFT, "b1f6bd24769c82d02af04afe3b08501af5aba30e2fcac52685f460128f481b21");
+    (Core.Config.HotStuff, "ccca5137f04bea6e0b0e870b5e96ed1325c41ee2c5af51b0f174b8ff03c8bdb5");
+    (Core.Config.Raft, "b1f6bd24769c82d02af04afe3b08501af5aba30e2fcac52685f460128f481b21");
+  ]
+
+let test_seed9_fingerprints_pinned () =
+  let sc = Scenario.of_seed 9L in
+  List.iter
+    (fun (p, expected) ->
+      match Harness.run_protocol ~instrumented:false sc p with
+      | Error e -> Alcotest.failf "seed 9 %s: %s" (Core.Config.protocol_name p) e
+      | Ok r ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed 9 %s fingerprint" (Core.Config.protocol_name p))
+            expected r.Harness.fingerprint)
+    seed9_fingerprints
 
 let test_corpus_not_empty () =
   check_bool "committed corpus has entries" true (corpus_files () <> [])
@@ -271,6 +315,8 @@ let () =
         ] );
       ( "end-to-end",
         Alcotest.test_case "fixed seed, all protocols" `Slow test_fixed_seed_pipeline
+        :: Alcotest.test_case "fixed-seed fingerprints pinned" `Slow
+             test_seed9_fingerprints_pinned
         :: Alcotest.test_case "corpus is committed" `Quick test_corpus_not_empty
         :: List.map
              (fun f -> Alcotest.test_case ("corpus " ^ f) `Slow (replay_corpus_file f))

@@ -70,6 +70,129 @@ let test_heap_peek () =
   check_bool "peek min" true (Sim.Heap.peek h = Some 2);
   check_int "length" 3 (Sim.Heap.length h)
 
+let test_heap_releases_elements () =
+  (* The heap must not retain popped/cleared elements past its logical
+     size: regression for stale references surviving in the backing array. *)
+  let h = Sim.Heap.create ~cmp:(fun (a, _) (b, _) -> compare (a : int) b) in
+  let w = Weak.create 4 in
+  for i = 0 to 3 do
+    let v = (i, ref i) in
+    Weak.set w i (Some v);
+    Sim.Heap.push h v
+  done;
+  ignore (Sim.Heap.pop h);
+  ignore (Sim.Heap.pop h);
+  Gc.full_major ();
+  check_bool "popped element 0 collected" false (Weak.check w 0);
+  check_bool "popped element 1 collected" false (Weak.check w 1);
+  check_bool "live element 2 retained" true (Weak.check w 2);
+  check_bool "live element 3 retained" true (Weak.check w 3);
+  Sim.Heap.clear h;
+  Gc.full_major ();
+  check_bool "cleared element 2 collected" false (Weak.check w 2);
+  check_bool "cleared element 3 collected" false (Weak.check w 3)
+
+(* ------------------------------------------------------------------ *)
+(* Event queue (timing wheel + overflow heap) *)
+
+module Q = Sim.Event_queue
+
+(* Drain the queue, executing each popped action (tests record identity
+   through the actions, which is how the engine itself consumes events). *)
+let drain_queue q =
+  let rec go () =
+    let ev = Q.pop q in
+    if ev != Q.nil then begin
+      ev.Q.action ();
+      Q.release q ev;
+      go ()
+    end
+  in
+  go ()
+
+(* Times biased to cross every structural boundary: within one level-0
+   slot, across the level-0 window, across the wheel horizon (2^32 ns),
+   and deep into the overflow heap. *)
+let gen_time =
+  QCheck.Gen.(
+    oneof
+      [
+        int_range 0 8_192;
+        int_range 0 5_000_000;
+        int_range 0 6_000_000_000;
+        int_range 3_000_000_000 40_000_000_000;
+      ])
+
+let prop_queue_order_fifo =
+  QCheck.Test.make ~name:"event queue pops by (time, insertion seq)" ~count:300
+    (QCheck.make
+       ~print:QCheck.Print.(list int)
+       QCheck.Gen.(list_size (int_range 0 400) gen_time))
+    (fun times ->
+      let q = Q.create () in
+      let order = ref [] in
+      List.iteri
+        (fun i at -> ignore (Q.add q ~time:at (fun () -> order := i :: !order)))
+        times;
+      drain_queue q;
+      let expected =
+        List.mapi (fun i at -> (at, i)) times |> List.sort compare |> List.map snd
+      in
+      List.rev !order = expected && Q.live q = 0)
+
+let prop_queue_cancel =
+  QCheck.Test.make ~name:"cancelled events neither fire nor count as live"
+    ~count:300
+    (QCheck.make
+       ~print:QCheck.Print.(list (pair int bool))
+       QCheck.Gen.(list_size (int_range 0 400) (pair gen_time (frequencyl [ (7, true); (3, false) ])))
+    )
+    (fun items ->
+      let q = Q.create () in
+      let order = ref [] in
+      let handles =
+        List.mapi
+          (fun i (at, _) -> Q.add q ~time:at (fun () -> order := i :: !order))
+          items
+      in
+      (* Heavy cancellation exercises the bulk-purge sweep. *)
+      List.iter2 (fun h (_, c) -> if c then Q.cancel q h) handles items;
+      let survivors = List.filter (fun (_, (_, c)) -> not c)
+          (List.mapi (fun i it -> (i, it)) items)
+      in
+      let live_ok = Q.live q = List.length survivors in
+      drain_queue q;
+      let expected =
+        List.map (fun (i, (at, _)) -> (at, i)) survivors
+        |> List.sort compare |> List.map snd
+      in
+      live_ok && List.rev !order = expected && Q.live q = 0)
+
+let test_queue_boundary_times () =
+  (* Deterministic walk across the exact level boundaries: end of a
+     level-0 slot (2^12), end of the level-0 window (2^22), the wheel
+     horizon (2^32), and far overflow.  Inserted in reverse. *)
+  let times =
+    [
+      0;
+      1;
+      4_095;
+      4_096;
+      4_194_303;
+      4_194_304;
+      4_294_967_295;
+      4_294_967_296;
+      40_000_000_000;
+    ]
+  in
+  let q = Q.create () in
+  let popped = ref [] in
+  List.iter
+    (fun at -> ignore (Q.add q ~time:at (fun () -> popped := at :: !popped)))
+    (List.rev times);
+  drain_queue q;
+  Alcotest.(check (list int)) "ascending across boundaries" times (List.rev !popped)
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -120,6 +243,133 @@ let test_engine_nested_schedule () =
   Sim.Engine.run e;
   check_int "both fired" 2 (List.length !log);
   check_int "final clock" (Sim.Time_ns.ms 10) (Sim.Engine.now e)
+
+let test_engine_until_non_monotonic () =
+  (* Regression: a second [run ~until] with an *earlier* limit used to move
+     the clock backwards; it must be a no-op on the clock. *)
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 30) (fun () -> incr fired));
+  Sim.Engine.run ~until:(Sim.Time_ns.ms 20) e;
+  check_int "clock parked at first limit" (Sim.Time_ns.ms 20) (Sim.Engine.now e);
+  Sim.Engine.run ~until:(Sim.Time_ns.ms 10) e;
+  check_int "clock does not rewind" (Sim.Time_ns.ms 20) (Sim.Engine.now e);
+  check_int "nothing fired early" 0 !fired;
+  Sim.Engine.run ~until:(Sim.Time_ns.ms 30) e;
+  check_int "due event still fires" 1 !fired
+
+let test_engine_pending_excludes_cancelled () =
+  let e = Sim.Engine.create () in
+  let ids =
+    List.init 10 (fun _ -> Sim.Engine.schedule e ~delay:(Sim.Time_ns.ms 10) (fun () -> ()))
+  in
+  check_int "all pending" 10 (Sim.Engine.pending e);
+  List.iteri (fun i id -> if i < 4 then Sim.Engine.cancel e id) ids;
+  check_int "pending excludes cancelled" 6 (Sim.Engine.pending e);
+  Sim.Engine.cancel e (List.hd ids);
+  check_int "double cancel is a no-op" 6 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  check_int "drained" 0 (Sim.Engine.pending e)
+
+let test_engine_cancel_releases_closure () =
+  (* Cancelling must drop the action closure immediately, even though the
+     event record lingers as a tombstone. *)
+  let e = Sim.Engine.create () in
+  let w = Weak.create 1 in
+  let id =
+    let v = ref 42 in
+    Weak.set w 0 (Some v);
+    Sim.Engine.schedule e ~delay:(Sim.Time_ns.sec 100) (fun () -> ignore !v)
+  in
+  Sim.Engine.cancel e id;
+  Gc.full_major ();
+  check_bool "cancelled closure collected" false (Weak.check w 0)
+
+let test_engine_post_recycles () =
+  (* Fire-and-forget events run through the record freelist; a long chain
+     must reuse records without corruption. *)
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec body () =
+    if !count < 10_000 then begin
+      incr count;
+      Sim.Engine.post e ~delay:(Sim.Time_ns.us 1) body
+    end
+  in
+  Sim.Engine.post e ~delay:0 body;
+  Sim.Engine.run e;
+  check_int "all anonymous events fired" 10_000 !count;
+  check_int "queue empty" 0 (Sim.Engine.pending e)
+
+(* Random interleavings of schedule / cancel / run-until, checked against a
+   sorted-list model of the queue and clock. *)
+let prop_engine_matches_model =
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (6, map (fun d -> `Schedule d) (oneof [ int_range 0 2_000_000; int_range 0 6_000_000_000 ]));
+          (2, map (fun k -> `Cancel k) (int_range 0 300));
+          (3, map (fun u -> `Run u) (oneof [ int_range 0 2_000_000; int_range 0 8_000_000_000 ]));
+        ])
+  in
+  let print_op = function
+    | `Schedule d -> Printf.sprintf "Schedule %d" d
+    | `Cancel k -> Printf.sprintf "Cancel %d" k
+    | `Run u -> Printf.sprintf "Run %d" u
+  in
+  QCheck.Test.make ~name:"engine matches sorted-list model" ~count:300
+    (QCheck.make
+       ~print:QCheck.Print.(list print_op)
+       QCheck.Gen.(list_size (int_range 1 120) gen_op))
+    (fun ops ->
+      let e = Sim.Engine.create () in
+      let fired_real = ref [] and fired_model = ref [] in
+      let handles = ref [] (* insertion order, reversed *) in
+      let model = ref [] (* (at, idx, cancelled) in insertion order *) in
+      let idx = ref 0 and clock = ref 0 in
+      let ok = ref true in
+      let fire_due limit =
+        let due, rest =
+          List.partition (fun (at, _, _) -> at <= limit)
+            (List.stable_sort (fun (a, _, _) (b, _, _) -> compare (a : int) b) !model)
+        in
+        List.iter (fun (_, i, c) -> if not !c then fired_model := i :: !fired_model) due;
+        model := rest;
+        if limit > !clock then clock := limit
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | `Schedule d ->
+              let i = !idx in
+              incr idx;
+              let h =
+                Sim.Engine.schedule e ~delay:d (fun () -> fired_real := i :: !fired_real)
+              in
+              handles := h :: !handles;
+              model := !model @ [ (!clock + d, i, ref false) ]
+          | `Cancel k -> (
+              match List.nth_opt (List.rev !handles) k with
+              | None -> ()
+              | Some h ->
+                  (* also exercises cancel-after-fire as a no-op: fired
+                     entries are gone from [model], so only a still-pending
+                     entry gets marked *)
+                  Sim.Engine.cancel e h;
+                  List.iter (fun (_, i, c) -> if i = k then c := true) !model)
+          | `Run u ->
+              Sim.Engine.run ~until:u e;
+              fire_due u;
+              if Sim.Engine.now e <> !clock then ok := false;
+              let live = List.length (List.filter (fun (_, _, c) -> not !c) !model) in
+              if Sim.Engine.pending e <> live then ok := false)
+        ops;
+      Sim.Engine.run e;
+      fire_due max_int;
+      !ok
+      && List.rev !fired_real = List.rev !fired_model
+      && Sim.Engine.pending e = 0)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
@@ -310,7 +560,18 @@ let () =
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "zipf skew" `Quick test_rng_zipf;
         ] );
-      ("heap", [ qc prop_heap_sorts; Alcotest.test_case "peek/length" `Quick test_heap_peek ]);
+      ( "heap",
+        [
+          qc prop_heap_sorts;
+          Alcotest.test_case "peek/length" `Quick test_heap_peek;
+          Alcotest.test_case "releases popped elements" `Quick test_heap_releases_elements;
+        ] );
+      ( "event queue",
+        [
+          qc prop_queue_order_fifo;
+          qc prop_queue_cancel;
+          Alcotest.test_case "level boundary crossings" `Quick test_queue_boundary_times;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "time ordering" `Quick test_engine_ordering;
@@ -318,6 +579,13 @@ let () =
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "until is monotonic" `Quick test_engine_until_non_monotonic;
+          Alcotest.test_case "pending excludes cancelled" `Quick
+            test_engine_pending_excludes_cancelled;
+          Alcotest.test_case "cancel releases closure" `Quick
+            test_engine_cancel_releases_closure;
+          Alcotest.test_case "post recycles records" `Quick test_engine_post_recycles;
+          qc prop_engine_matches_model;
         ] );
       ( "metrics",
         [
