@@ -274,6 +274,32 @@ let fig12 () =
      commits)\n\
      %!"
 
+(* Overload sweep: offered load from 0.25x to 2x the saturation ceiling of
+   a throttled flow-controlled ISS-PBFT, locating the knee and checking
+   goodput holds past it (EXPERIMENTS.md "Overload sweep").  Writes the
+   BENCH_overload.json figure in the same format as `iss_sim bench
+   --json`. *)
+let overload () =
+  header
+    "Overload sweep: goodput across the saturation knee (throttled ISS-PBFT n=4, flow \
+     control on)";
+  let sw = E.overload_sweep ~seed () in
+  List.iter
+    (fun (p : E.sweep_point) ->
+      Format.printf "  %.2fx  %a@." p.E.fraction E.pp_result p.E.point)
+    sw.E.sweep_points;
+  Printf.printf "ceiling %.0f req/s; peak goodput %.0f req/s; knee at %.2fx\n%!" sw.E.ceiling
+    sw.E.peak_goodput sw.E.knee_fraction;
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+      let file = Filename.concat dir "BENCH_overload.json" in
+      let oc = open_out file in
+      output_string oc (Obs.Jsonx.to_string (E.sweep_to_json sw));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "[wrote %s]\n%!" file
+
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out.  Not part of the
    default run (invoke with `bench/main.exe ablations`). *)
@@ -421,6 +447,7 @@ let all_figures =
     ("fig10", fig10);
     ("fig11", fig11);
     ("fig12", fig12);
+    ("overload", overload);
     ("ablations", ablations);
     ("micro", micro);
   ]
@@ -450,8 +477,8 @@ let () =
         (* Importance order: if a run is cut short, the headline figures are
            already in the output. *)
         [
-          "table1"; "fig5"; "fig7"; "fig9"; "fig11"; "fig12"; "fig10"; "fig8"; "micro";
-          "fig6"; "ablations";
+          "table1"; "fig5"; "fig7"; "fig9"; "fig11"; "fig12"; "fig10"; "fig8"; "overload";
+          "micro"; "fig6"; "ablations";
         ]
   in
   (match !json_dir with None -> () | Some dir -> mkdirs dir);

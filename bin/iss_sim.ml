@@ -199,9 +199,101 @@ let print_result ~series r =
     Array.iteri (fun i v -> Format.printf "  t=%3ds  %10.0f@." i v) r.Runner.Experiment.series
   end
 
+let workload_conv =
+  (* Overload shapes with canonical parameters; a spec like
+     "flash-crowd:10,4,5" or "hot-bucket:1.2" overrides them. *)
+  let parse s =
+    let name, params =
+      match String.index_opt s ':' with
+      | None -> (s, [])
+      | Some i ->
+          ( String.sub s 0 i,
+            String.split_on_char ','
+              (String.sub s (i + 1) (String.length s - i - 1))
+            |> List.filter_map float_of_string_opt )
+    in
+    match (String.lowercase_ascii name, params) with
+    | "steady", _ -> Ok Runner.Workload.Steady
+    | "flash-crowd", [ at_s; factor; len_s ] ->
+        Ok (Runner.Workload.Flash_crowd { at_s; factor; len_s })
+    | "flash-crowd", [] ->
+        Ok (Runner.Workload.Flash_crowd { at_s = 10.0; factor = 4.0; len_s = 5.0 })
+    | "hot-bucket", [ skew ] -> Ok (Runner.Workload.Hot_bucket { skew })
+    | "hot-bucket", [] -> Ok (Runner.Workload.Hot_bucket { skew = 1.2 })
+    | "ramp", [ peak_factor ] -> Ok (Runner.Workload.Ramp { peak_factor })
+    | "ramp", [] -> Ok (Runner.Workload.Ramp { peak_factor = 2.0 })
+    | _ ->
+        Error
+          (`Msg
+            "workload: steady, flash-crowd[:at,factor,len], hot-bucket[:skew] or \
+             ramp[:peak]")
+  in
+  let print fmt w = Format.pp_print_string fmt (Runner.Workload.shape_name w) in
+  Arg.conv (parse, print)
+
+let shed_policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "reject-new" | "reject_new" -> Ok Core.Config.Reject_new
+    | "drop-oldest" | "drop_oldest" -> Ok Core.Config.Drop_oldest
+    | other -> Error (`Msg (Printf.sprintf "unknown shed policy %S" other))
+  in
+  let print fmt p = Format.pp_print_string fmt (Core.Config.shed_policy_name p) in
+  Arg.conv (parse, print)
+
 let run_cmd =
   let rate_arg =
     Arg.(value & opt float 1000.0 & info [ "rate"; "r" ] ~doc:"Offered load, requests/s.")
+  in
+  let offered_load_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "offered-load" ] ~docv:"X"
+          ~doc:
+            "Offered load as a fraction of the overload experiments' analytical ceiling \
+             (2048 req/s; overrides --rate, 2.0 = 2x overload).  Implies the throttled \
+             flow-control configuration the overload sweep uses, so fractions here line \
+             up with the sweep's — and with the knee in BENCH_overload.json.")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some workload_conv) None
+      & info [ "workload" ] ~docv:"SHAPE"
+          ~doc:
+            "Offered-load shape: steady (default), flash-crowd[:at,factor,len], \
+             hot-bucket[:skew], or ramp[:peak].  Non-steady shapes enable client \
+             resubmission.")
+  in
+  let flow_control_arg =
+    Arg.(
+      value & flag
+      & info [ "flow-control" ]
+          ~doc:"Enable node-side admission control and pushback (off by default).")
+  in
+  let bucket_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bucket-cap" ] ~docv:"REQS"
+          ~doc:"Bucket-queue capacity when --flow-control is on (default 4096).")
+  in
+  let shed_policy_arg =
+    Arg.(
+      value
+      & opt (some shed_policy_conv) None
+      & info [ "shed-policy" ] ~docv:"POLICY"
+          ~doc:"Shed policy when a bucket is full: reject-new (default) or drop-oldest.")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retry-budget" ] ~docv:"K"
+          ~doc:
+            "Modeled clients abandon a request after K resubmissions (default: retry \
+             forever).  Implies client resubmission.")
   in
   let faults_arg =
     Arg.(
@@ -230,8 +322,37 @@ let run_cmd =
                (String.concat ", " Runner.Faults.scenario_names)))
   in
   let go system n rate duration seed policy faults scenario series relaxed trace_out
-      trace_sample metrics_out =
-    let tweak c = { c with Core.Config.strict_validation = not relaxed } in
+      trace_sample metrics_out offered_load workload flow_control bucket_cap shed_policy
+      retry_budget =
+    let tweak c =
+      let c =
+        if Option.is_some offered_load then Runner.Experiment.overload_tweak () c else c
+      in
+      let c = { c with Core.Config.strict_validation = not relaxed } in
+      if not (flow_control || Option.is_some offered_load) then c
+      else
+        {
+          c with
+          Core.Config.flow_control = true;
+          bucket_capacity =
+            Option.value bucket_cap ~default:c.Core.Config.bucket_capacity;
+          shed_policy = Option.value shed_policy ~default:c.Core.Config.shed_policy;
+        }
+    in
+    let rate =
+      match offered_load with
+      | None -> rate
+      | Some x -> x *. Runner.Experiment.overload_ceiling
+    in
+    (* Overload shapes and retry budgets only make sense with the
+       resubmission sweeper running. *)
+    let resubmit =
+      if
+        Option.is_some retry_budget
+        || (match workload with Some Runner.Workload.Steady | None -> false | Some _ -> true)
+      then Some true
+      else None
+    in
     let seed = Int64.of_int seed in
     let engine, tracer, registry = obs_setup ~trace_out ~metrics_out ~trace_sample in
     let scenario =
@@ -249,7 +370,8 @@ let run_cmd =
     Option.iter (fun sc -> Format.printf "%a@." Runner.Faults.pp sc) scenario;
     match
       Runner.Experiment.run ?engine ?policy ~tweak ~faults ?scenario ?tracer ?registry
-        ~system ~n ~rate ~duration_s:duration ~seed ()
+        ?shape:workload ?retry_budget ?resubmit ~system ~n ~rate ~duration_s:duration
+        ~seed ()
     with
     | r ->
         print_result ~series r;
@@ -267,7 +389,8 @@ let run_cmd =
     Term.(
       const go $ system_arg $ n_arg $ rate_arg $ duration_arg $ seed_arg $ policy_arg
       $ faults_arg $ scenario_arg $ series_arg $ relaxed_arg $ trace_out_arg
-      $ trace_sample_arg $ metrics_out_arg)
+      $ trace_sample_arg $ metrics_out_arg $ offered_load_arg $ workload_arg
+      $ flow_control_arg $ bucket_cap_arg $ shed_policy_arg $ retry_budget_arg)
 
 let peak_cmd =
   let go system n duration seed series trace_out trace_sample metrics_out =
@@ -442,6 +565,47 @@ let conform_cmd =
           model, with determinism and instrumented/bare bit-identity asserted per seed.")
     Term.(const go $ seeds_arg $ start_arg $ shrink_arg $ replay_arg $ save_arg)
 
+let bench_cmd =
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI smoke variant: 3 sweep points x 12 s instead of 7 x 25 s.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"DIR" ~doc:"Write BENCH_overload.json into $(docv).")
+  in
+  let go quick json seed n =
+    let sw = Runner.Experiment.overload_sweep ~quick ~seed:(Int64.of_int seed) ~n () in
+    Format.printf
+      "overload sweep: throttled iss-pbft n=%d, ceiling %.0f req/s, flow control on@." n
+      sw.Runner.Experiment.ceiling;
+    List.iter
+      (fun (p : Runner.Experiment.sweep_point) ->
+        Format.printf "  %.2fx  %a@." p.fraction Runner.Experiment.pp_result p.point)
+      sw.Runner.Experiment.sweep_points;
+    Format.printf "peak goodput %.0f req/s; knee at %.2fx ceiling@."
+      sw.Runner.Experiment.peak_goodput sw.Runner.Experiment.knee_fraction;
+    match json with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let file = Filename.concat dir "BENCH_overload.json" in
+        let oc = open_out file in
+        output_string oc (Obs.Jsonx.to_string (Runner.Experiment.sweep_to_json sw));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Offered-load sweep across the saturation knee of a throttled flow-controlled \
+          ISS-PBFT; emits the BENCH_overload.json figure.")
+    Term.(const go $ quick_arg $ json_arg $ seed_arg $ n_arg)
+
 let config_cmd =
   let go system n =
     let config =
@@ -459,4 +623,7 @@ let config_cmd =
 let () =
   setup_profiler ();
   let info = Cmd.info "iss_sim" ~doc:"ISS (Insanely Scalable SMR) simulator." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; peak_cmd; conform_cmd; topology_cmd; config_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; peak_cmd; bench_cmd; conform_cmd; topology_cmd; config_cmd ]))

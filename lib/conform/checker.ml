@@ -37,6 +37,8 @@ type stats = {
   requests : int;  (* distinct requests ordered *)
   quorum_requests : int;  (* requests whose position reached the reply quorum *)
   per_node_delivered : int array;  (* requests delivered by each node *)
+  shed : int;  (* flow-control sheds observed, all correct nodes *)
+  gave_up : int;  (* requests whose client exhausted its retry budget *)
 }
 
 type t = {
@@ -51,6 +53,8 @@ type t = {
   per_node_seen : (int, unit) Hashtbl.t array;
   delivered_counts : int array;
   byzantine : bool array;  (* invariants quantify over correct nodes only *)
+  shed_counts : int array;  (* flow-control sheds per node *)
+  gave_up : (int, unit) Hashtbl.t;  (* id_key of abandoned requests *)
   mutable max_sn : int;
   mutable violation : string option;
 }
@@ -68,6 +72,8 @@ let create ~n ~reply_quorum ~window =
     per_node_seen = Array.init n (fun _ -> Hashtbl.create 4096);
     delivered_counts = Array.make n 0;
     byzantine = Array.make n false;
+    shed_counts = Array.make n 0;
+    gave_up = Hashtbl.create 64;
     max_sn = -1;
     violation = None;
   }
@@ -78,6 +84,20 @@ let fail t fmt = Printf.ksprintf (fun msg -> if t.violation = None then t.violat
 
 let note_submitted t (r : Proto.Request.t) =
   Hashtbl.replace t.submitted (Proto.Request.id_key r.Proto.Request.id) r
+
+let note_shed t ~node (r : Proto.Request.t) =
+  if not t.byzantine.(node) then begin
+    t.shed_counts.(node) <- t.shed_counts.(node) + 1;
+    (* A node that already delivered this request holds it in its dedup
+       state: a later copy must be absorbed as a duplicate, never counted
+       against the bucket and shed. *)
+    if Hashtbl.mem t.per_node_seen.(node) (Proto.Request.id_key r.Proto.Request.id) then
+      fail t "node %d shed request (client %d, ts %d) it had already delivered" node
+        r.id.Proto.Request.client r.id.Proto.Request.ts
+  end
+
+let note_gave_up t (r : Proto.Request.t) =
+  Hashtbl.replace t.gave_up (Proto.Request.id_key r.Proto.Request.id) ()
 
 let note_delivery t ~node ~sn ~first_request_sn batch =
   if t.violation = None then
@@ -173,6 +193,7 @@ let check_liveness t =
   let missing = ref 0 and unquorate = ref 0 and example = ref None in
   Hashtbl.iter
     (fun key (r : Proto.Request.t) ->
+      if not (Hashtbl.mem t.gave_up key) then
       match Hashtbl.find_opt t.req_sn key with
       | None ->
           incr missing;
@@ -220,7 +241,12 @@ let check_clients t =
       for ts = 0 to m do
         match Hashtbl.find_opt tbl ts with
         | None ->
-            if t.violation = None then
+            (* A hole is legal exactly where the client gave the request up:
+               the explicit give-up terminal state of the overload run. *)
+            if
+              t.violation = None
+              && not (Hashtbl.mem t.gave_up (Proto.Request.id_key { Proto.Request.client = c; ts }))
+            then
               fail t "client %d: ts %d missing from the delivered range [0, %d]" c ts m
         | Some sn ->
             if ts >= t.window then begin
@@ -254,6 +280,8 @@ let finalize t =
           requests = Hashtbl.length t.req_sn;
           quorum_requests;
           per_node_delivered = Array.copy t.delivered_counts;
+          shed = Array.fold_left ( + ) 0 t.shed_counts;
+          gave_up = Hashtbl.length t.gave_up;
         }
 
 let violation t = t.violation
@@ -275,4 +303,13 @@ let fingerprint t =
       Buffer.add_string buf
         (Printf.sprintf "n%d=%d@%d;" node t.delivered_counts.(node) last))
     t.last_sn;
+  (* Overload accounting enters the digest only when it fired: scenarios
+     without flow control keep their pre-flow-control fingerprints. *)
+  let shed_total = Array.fold_left ( + ) 0 t.shed_counts in
+  if shed_total > 0 || Hashtbl.length t.gave_up > 0 then begin
+    Buffer.add_string buf (Printf.sprintf "gaveup=%d;" (Hashtbl.length t.gave_up));
+    Array.iteri
+      (fun node shed -> Buffer.add_string buf (Printf.sprintf "shed%d=%d;" node shed))
+      t.shed_counts
+  end;
   Iss_crypto.Sha256.digest_hex (Buffer.contents buf)

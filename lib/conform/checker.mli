@@ -19,6 +19,8 @@ type stats = {
   requests : int;  (** distinct requests ordered *)
   quorum_requests : int;  (** requests whose position reached the reply quorum *)
   per_node_delivered : int array;  (** requests delivered by each node *)
+  shed : int;  (** flow-control sheds observed, all correct nodes *)
+  gave_up : int;  (** requests whose client exhausted its retry budget *)
 }
 
 val create : n:int -> reply_quorum:int -> window:int -> t
@@ -39,6 +41,19 @@ val note_delivery : t -> node:int -> sn:int -> first_request_sn:int -> Proto.Bat
 (** Feed from {!Runner.Cluster.set_delivery_observer}.  Violations are
     recorded (first one wins), never raised — a failing run completes and is
     then shrunk. *)
+
+val note_shed : t -> node:int -> Proto.Request.t -> unit
+(** Feed from {!Runner.Cluster.set_shed_observer} (shed events only, not
+    advisory pushback).  Records the shed and checks the no
+    delivered-then-shed invariant: a correct node never sheds a request it
+    has already delivered (its dedup state must absorb the duplicate
+    before admission counts it against the bucket). *)
+
+val note_gave_up : t -> Proto.Request.t -> unit
+(** Feed from {!Runner.Cluster.set_give_up_observer}.  Given-up requests
+    become legal terminal states for the liveness and per-client
+    completeness checks; the per-client watermark-window check treats the
+    hole as transparent. *)
 
 val finalize : t -> (stats, string) result
 (** Run the end-of-run structural checks (Eq. 2 global chaining, liveness,

@@ -44,11 +44,37 @@ let fast c =
     max_batch_timeout = (if c.Core.Config.max_batch_timeout = 0 then 0 else Time_ns.sec 1);
   }
 
+(* Overload scenarios flip flow control on with buckets small enough that
+   conformance-scale rates actually shed.  The shed policy comes from the
+   scenario's [drop_oldest] draw. *)
+let overload_tweak (o : Scenario.overload) c =
+  let drop_oldest =
+    match o with
+    | Scenario.Flash_crowd { drop_oldest; _ } | Scenario.Hot_bucket { drop_oldest; _ } ->
+        drop_oldest
+  in
+  {
+    c with
+    Core.Config.flow_control = true;
+    bucket_capacity = 16;
+    shed_policy = (if drop_oldest then Core.Config.Drop_oldest else Core.Config.Reject_new);
+    pushback_watermark = 0.75;
+  }
+
+(* The modeled client abandons a stalled request after this many re-sends in
+   overload scenarios — the explicit give-up terminal state. *)
+let overload_retry_budget = 4
+
 let run_until_s (sc : Scenario.t) config =
   let heal = Faults.heal_s (Faults.make ~name:(Scenario.name sc) sc.Scenario.faults) in
+  (* Give-ups need the sweeper to notice the stall (5 s) and then spend the
+     retry budget at one re-send per 2 s sweep: extend overload runs so
+     every shed request reaches a terminal state before liveness judges. *)
+  let overload_grace = match sc.Scenario.overload with Some _ -> 10.0 | None -> 0.0 in
   Float.max
     (sc.Scenario.duration_s +. 15.0)
     (heal +. Faults.liveness_grace_s config +. sc.Scenario.duration_s)
+  +. overload_grace
 
 (* ------------------------------------------------------------------ *)
 (* Observability self-consistency: the registry's own delivery accounting
@@ -129,9 +155,14 @@ let run_protocol ?(instrumented = true) (sc : Scenario.t) protocol :
         if instrumented then Some (Obs.Tracer.create ~sample:1 ~engine ()) else None
       in
       let registry = if instrumented then Some (Obs.Registry.create ()) else None in
+      let tweak =
+        match sc.Scenario.overload with
+        | None -> fast
+        | Some o -> fun c -> overload_tweak o (fast c)
+      in
       let cluster =
-        Cluster.create ~engine ?tracer ?registry ~tweak:fast
-          ~system:(Cluster.Iss protocol) ~n:sc.Scenario.n ~seed:sc.Scenario.seed ()
+        Cluster.create ~engine ?tracer ?registry ~tweak ~system:(Cluster.Iss protocol)
+          ~n:sc.Scenario.n ~seed:sc.Scenario.seed ()
       in
       let config = Cluster.config cluster in
       let checker =
@@ -142,13 +173,30 @@ let run_protocol ?(instrumented = true) (sc : Scenario.t) protocol :
       Cluster.set_submission_observer cluster (Checker.note_submitted checker);
       Cluster.set_delivery_observer cluster (fun ~node ~sn ~first_request_sn batch ->
           Checker.note_delivery checker ~node ~sn ~first_request_sn batch);
+      let shape, retry_budget =
+        match sc.Scenario.overload with
+        | None -> (Runner.Workload.Steady, None)
+        | Some o ->
+            (* The checker re-derives the shed / give-up conformance rules
+               from its own observer feed, cross-validating the cluster's
+               online delivered-then-shed check. *)
+            Cluster.set_shed_observer cluster (fun ~node ~shed r ->
+                if shed then Checker.note_shed checker ~node r);
+            Cluster.set_give_up_observer cluster (Checker.note_gave_up checker);
+            (match o with
+             | Scenario.Flash_crowd { at_s; factor; len_s; _ } ->
+                 Runner.Workload.Flash_crowd { at_s; factor; len_s }
+             | Scenario.Hot_bucket { skew; _ } -> Runner.Workload.Hot_bucket { skew }),
+            Some overload_retry_budget
+      in
       let schedule = Faults.make ~name:(Scenario.name sc) sc.Scenario.faults in
       Faults.apply schedule cluster;
       Cluster.enable_invariants cluster;
       Cluster.start cluster;
       let run_until = Time_ns.of_sec_f (run_until_s sc config) in
       Runner.Workload.start ~cluster ~rate:sc.Scenario.rate
-        ~num_clients:sc.Scenario.num_clients ~resubmit:true ~sweep_until:run_until
+        ~num_clients:sc.Scenario.num_clients ~resubmit:true ~shape ?retry_budget
+        ~shape_seed:sc.Scenario.seed ~sweep_until:run_until
         ~until:(Time_ns.of_sec_f sc.Scenario.duration_s) ();
       match
         Sim.Engine.run ~until:run_until engine;

@@ -7,6 +7,10 @@ module Rng = Sim.Rng
 module Faults = Runner.Faults
 module J = Obs.Jsonx
 
+type overload =
+  | Flash_crowd of { at_s : float; factor : float; len_s : float; drop_oldest : bool }
+  | Hot_bucket of { skew : float; drop_oldest : bool }
+
 type t = {
   seed : int64;  (* drives the cluster RNG and (via derivation) every draw below *)
   n : int;
@@ -14,6 +18,9 @@ type t = {
   num_clients : int;  (* small pools stress the per-client watermark window *)
   duration_s : float;  (* submission window; the run extends to heal + grace *)
   faults : Faults.spec list;
+  overload : overload option;
+      (* flow control on, tiny buckets, an overload workload shape and a
+         finite client retry budget — exercises shed/give-up conformance *)
 }
 
 let name t = Printf.sprintf "seed-%Ld" t.seed
@@ -56,14 +63,48 @@ let of_seed seed =
       [ Faults.Slow_link { a; b; extra; from_s; until_s } ]
     else []
   in
-  { seed; n; rate; num_clients; duration_s; faults = schedule @ jitter }
+  (* Overload window: a fifth of the seeds run with flow control on (tiny
+     buckets, so shedding actually fires at conformance rates) under a
+     saturating workload shape.  Drawn last: pre-overload seeds keep their
+     exact scenarios. *)
+  let overload =
+    if Rng.int rng 5 = 0 then begin
+      let drop_oldest = Rng.int rng 2 = 1 in
+      if Rng.int rng 2 = 0 then
+        Some
+          (Flash_crowd
+             {
+               at_s = ms_quant (0.2 *. duration_s +. Rng.float rng (0.3 *. duration_s));
+               factor = float_of_int (6 + Rng.int rng 7);
+               len_s = ms_quant (1.0 +. Rng.float rng 2.0);
+               drop_oldest;
+             })
+      else
+        Some (Hot_bucket { skew = 0.9 +. (0.1 *. float_of_int (Rng.int rng 8)); drop_oldest })
+    end
+    else None
+  in
+  { seed; n; rate; num_clients; duration_s; faults = schedule @ jitter; overload }
+
+let validate_overload = function
+  | None -> Ok ()
+  | Some (Flash_crowd { at_s; factor; len_s; _ }) ->
+      if at_s < 0.0 then Error "overload: at_s must be non-negative"
+      else if factor <= 1.0 then Error "overload: factor must exceed 1"
+      else if len_s <= 0.0 then Error "overload: len_s must be positive"
+      else Ok ()
+  | Some (Hot_bucket { skew; _ }) ->
+      if skew <= 0.0 then Error "overload: skew must be positive" else Ok ()
 
 let validate ?protocol t =
   if t.n < 4 then Error "n must be at least 4"
   else if t.rate <= 0.0 then Error "rate must be positive"
   else if t.num_clients < 1 then Error "num_clients must be positive"
   else if t.duration_s <= 0.0 then Error "duration_s must be positive"
-  else Faults.validate ?protocol (Faults.make ~name:(name t) t.faults) ~n:t.n
+  else
+    match validate_overload t.overload with
+    | Error _ as e -> e
+    | Ok () -> Faults.validate ?protocol (Faults.make ~name:(name t) t.faults) ~n:t.n
 
 let has_byzantine t = Faults.has_byzantine (Faults.make ~name:(name t) t.faults)
 let byzantine_nodes t = Faults.byzantine_nodes (Faults.make ~name:(name t) t.faults)
@@ -241,16 +282,57 @@ let spec_of_json json =
   | J.String other -> Error (Printf.sprintf "unknown fault kind %S" other)
   | _ -> Error "field \"kind\": expected string"
 
+let overload_to_json = function
+  | Flash_crowd { at_s; factor; len_s; drop_oldest } ->
+      J.Obj
+        [
+          ("kind", J.String "flash_crowd");
+          ("at_s", J.Float at_s);
+          ("factor", J.Float factor);
+          ("len_s", J.Float len_s);
+          ("drop_oldest", J.Bool drop_oldest);
+        ]
+  | Hot_bucket { skew; drop_oldest } ->
+      J.Obj
+        [
+          ("kind", J.String "hot_bucket");
+          ("skew", J.Float skew);
+          ("drop_oldest", J.Bool drop_oldest);
+        ]
+
+let overload_of_json json =
+  let* drop_oldest = field "drop_oldest" json in
+  let* drop_oldest =
+    match drop_oldest with
+    | J.Bool b -> Ok b
+    | _ -> Error "field \"drop_oldest\": expected bool"
+  in
+  let* kind = field "kind" json in
+  match kind with
+  | J.String "flash_crowd" ->
+      let* at_s = float_field "at_s" json in
+      let* factor = float_field "factor" json in
+      let* len_s = float_field "len_s" json in
+      Ok (Flash_crowd { at_s; factor; len_s; drop_oldest })
+  | J.String "hot_bucket" ->
+      let* skew = float_field "skew" json in
+      Ok (Hot_bucket { skew; drop_oldest })
+  | J.String other -> Error (Printf.sprintf "unknown overload kind %S" other)
+  | _ -> Error "field \"kind\": expected string"
+
 let to_json t =
   J.Obj
-    [
-      ("seed", J.String (Int64.to_string t.seed));
-      ("n", J.Int t.n);
-      ("rate", J.Float t.rate);
-      ("num_clients", J.Int t.num_clients);
-      ("duration_s", J.Float t.duration_s);
-      ("faults", J.List (List.map spec_to_json t.faults));
-    ]
+    ([
+       ("seed", J.String (Int64.to_string t.seed));
+       ("n", J.Int t.n);
+       ("rate", J.Float t.rate);
+       ("num_clients", J.Int t.num_clients);
+       ("duration_s", J.Float t.duration_s);
+       ("faults", J.List (List.map spec_to_json t.faults));
+     ]
+    (* Emitted only when present: pre-overload corpus files round-trip
+       byte-identically. *)
+    @ match t.overload with None -> [] | Some o -> [ ("overload", overload_to_json o) ])
 
 let of_json json =
   let* seed = field "seed" json in
@@ -279,7 +361,14 @@ let of_json json =
             Ok (spec :: acc))
           items (Ok [])
   in
-  let t = { seed; n; rate; num_clients; duration_s; faults } in
+  let* overload =
+    match J.member "overload" json with
+    | None -> Ok None
+    | Some o ->
+        let* o = overload_of_json o in
+        Ok (Some o)
+  in
+  let t = { seed; n; rate; num_clients; duration_s; faults; overload } in
   let* () = validate t in
   Ok t
 
@@ -289,7 +378,18 @@ let of_string s =
 
 let to_string t = J.to_string (to_json t)
 
+let pp_overload fmt = function
+  | Flash_crowd { at_s; factor; len_s; drop_oldest } ->
+      Format.fprintf fmt "flash-crowd %gx at %g-%gs (%s)" factor at_s (at_s +. len_s)
+        (if drop_oldest then "drop-oldest" else "reject-new")
+  | Hot_bucket { skew; drop_oldest } ->
+      Format.fprintf fmt "hot-bucket zipf %g (%s)" skew
+        (if drop_oldest then "drop-oldest" else "reject-new")
+
 let pp fmt t =
   Format.fprintf fmt "scenario %s: n=%d rate=%g clients=%d duration=%gs, %a" (name t) t.n
     t.rate t.num_clients t.duration_s Faults.pp
-    (Faults.make ~name:(name t) t.faults)
+    (Faults.make ~name:(name t) t.faults);
+  match t.overload with
+  | None -> ()
+  | Some o -> Format.fprintf fmt ", overload %a" pp_overload o

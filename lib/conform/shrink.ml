@@ -112,9 +112,15 @@ let candidates (sc : Scenario.t) : Scenario.t list =
       [ { sc with Scenario.num_clients = sc.Scenario.num_clients / 2 } ]
     else []
   in
+  let no_overload =
+    match sc.Scenario.overload with
+    | Some _ -> [ { sc with Scenario.overload = None } ]
+    | None -> []
+  in
   List.filter
     (fun c -> Scenario.validate c = Ok ())
-    (drop_one @ smaller_cluster @ shorter @ halve_one @ lighter @ fewer_clients)
+    (drop_one @ no_overload @ smaller_cluster @ shorter @ halve_one @ lighter
+   @ fewer_clients)
 
 (* Greedy descent: adopt the first candidate that still fails; stop when no
    candidate fails or the re-run budget is spent.  [still_fails] should run

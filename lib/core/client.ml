@@ -7,6 +7,7 @@ type pending = {
   request : Proto.Request.t;
   mutable repliers : Proto.Ids.node_id list;  (* distinct nodes that replied *)
   mutable retx : int;  (* retransmissions sent so far *)
+  mutable not_before : Time_ns.t;  (* server-pushback retransmission floor *)
 }
 
 type t = {
@@ -18,6 +19,9 @@ type t = {
   retransmit : bool;
   retx_base : Time_ns.span;  (* first retransmission delay; doubles per try *)
   retx_max : Time_ns.span;  (* exponential-backoff ceiling *)
+  jitter : float;  (* multiplicative backoff jitter amplitude, 0 = none *)
+  retry_budget : int;  (* retransmissions before the client gives up *)
+  on_give_up : Proto.Request.t -> unit;
   keypair : Iss_crypto.Signature.keypair;
   on_complete : Proto.Request.t -> latency:Time_ns.span -> unit;
   mutable next_ts : int;
@@ -31,9 +35,12 @@ type t = {
   mutable open_loop_active : bool;
   mutable completed_count : int;
   mutable retx_count : int;
+  mutable gave_up_count : int;
+  mutable pushback_count : int;
 }
 
 let create ~config ~id ~engine ~send ?sign ?(retransmit = true) ?retx_base ?retx_max
+    ?(jitter = 0.0) ?(retry_budget = max_int) ?(on_give_up = fun _ -> ())
     ?(on_complete = fun _ ~latency:_ -> ()) () =
   let sign = match sign with Some s -> s | None -> config.Config.client_signatures in
   (* Defaults scale with the deployment's failure-detection timeout: a reply
@@ -56,6 +63,9 @@ let create ~config ~id ~engine ~send ?sign ?(retransmit = true) ?retx_base ?retx
     retransmit;
     retx_base;
     retx_max;
+    jitter;
+    retry_budget = (if retry_budget < 0 then 0 else retry_budget);
+    on_give_up;
     keypair = Iss_crypto.Signature.genkey ~id;
     on_complete;
     next_ts = 0;
@@ -69,6 +79,8 @@ let create ~config ~id ~engine ~send ?sign ?(retransmit = true) ?retx_base ?retx
     open_loop_active = false;
     completed_count = 0;
     retx_count = 0;
+    gave_up_count = 0;
+    pushback_count = 0;
   }
 
 let in_flight t = Hashtbl.length t.pending
@@ -76,6 +88,10 @@ let in_flight t = Hashtbl.length t.pending
 let completed t = t.completed_count
 
 let retransmissions t = t.retx_count
+
+let gave_up t = t.gave_up_count
+
+let pushbacks_received t = t.pushback_count
 
 let reply_quorum t =
   match t.config.Config.protocol with
@@ -102,30 +118,62 @@ let send_request t (req : Proto.Request.t) =
 
 let window_has_room t = t.next_ts - t.floor < t.config.Config.client_watermark_window
 
-(* Retransmission with exponential backoff: while a request lacks its reply
-   quorum, re-send it after [retx_base], then 2x, 4x, ... capped at
-   [retx_max].  The first retries go to the usual leader-detection targets
-   (the request or a reply may simply have been dropped); after that the
-   client stops guessing and blankets all nodes — whatever correct node
-   currently leads the bucket is among them, which restores liveness even
-   when every guessed target crashed.  Nodes deduplicate, so the only cost
-   of a spurious retransmission is bandwidth. *)
+(* Deterministic multiplicative jitter: scale a backoff delay by a uniform
+   factor in [1-jitter, 1+jitter], drawn from the client's own seeded RNG.
+   Clients created with identical backoff parameters therefore still
+   desynchronize instead of retransmitting in lockstep storms.  With
+   [jitter = 0.0] no random number is drawn at all — exact legacy timing. *)
+let jittered t delay =
+  if t.jitter <= 0.0 then delay
+  else
+    let f = 1.0 +. (t.jitter *. ((2.0 *. Sim.Rng.float t.rng 1.0) -. 1.0)) in
+    Time_ns.of_sec_f (Time_ns.to_sec_f delay *. f)
+
+(* Retransmission with jittered exponential backoff: while a request lacks
+   its reply quorum, re-send it after ~[retx_base], then 2x, 4x, ... capped
+   at [retx_max] (the jitter factor may overshoot the cap by its amplitude).
+   The first retries go to the usual leader-detection targets (the request
+   or a reply may simply have been dropped); after that the client stops
+   guessing and blankets all nodes — whatever correct node currently leads
+   the bucket is among them, which restores liveness even when every guessed
+   target crashed.  Nodes deduplicate, so the only cost of a spurious
+   retransmission is bandwidth.
+
+   Two flow-control refinements: a [Busy] pushback raises the pending
+   request's [not_before] floor, and a timer that fires early re-arms for
+   the floor without consuming retry budget; once [retry_budget]
+   retransmissions are spent, the client gives up the request — removing it
+   from the window so later requests are not wedged behind it — and reports
+   it via [on_give_up]. *)
 let rec arm_retx t ts ~delay =
   ignore
     (Engine.schedule t.engine ~delay (fun () ->
          match Hashtbl.find_opt t.pending ts with
          | None -> ()  (* confirmed while the timer was pending *)
          | Some p ->
-             p.retx <- p.retx + 1;
-             t.retx_count <- t.retx_count + 1;
-             if p.retx >= 3 then
-               for dst = 0 to t.config.Config.n - 1 do
-                 t.send ~dst (Proto.Message.Request_msg p.request)
-               done
-             else send_request t p.request;
-             arm_retx t ts ~delay:(min (2 * delay) t.retx_max)))
+             let now = Engine.now t.engine in
+             if now < p.not_before then
+               (* Pushed back: honor the server-suggested floor; no send,
+                  no budget spent. *)
+               arm_retx t ts ~delay:(Time_ns.diff p.not_before now)
+             else if p.retx >= t.retry_budget then begin
+               Hashtbl.remove t.pending ts;
+               t.gave_up_count <- t.gave_up_count + 1;
+               t.on_give_up p.request;
+               advance_floor t
+             end
+             else begin
+               p.retx <- p.retx + 1;
+               t.retx_count <- t.retx_count + 1;
+               if p.retx >= 3 then
+                 for dst = 0 to t.config.Config.n - 1 do
+                   t.send ~dst (Proto.Message.Request_msg p.request)
+                 done
+               else send_request t p.request;
+               arm_retx t ts ~delay:(jittered t (min (2 * delay) t.retx_max))
+             end))
 
-let submit_now t =
+and submit_now t =
   let ts = t.next_ts in
   t.next_ts <- ts + 1;
   let req =
@@ -134,24 +182,25 @@ let submit_now t =
       ~submitted_at:(Engine.now t.engine) ()
   in
   let req = if t.sign then Proto.Request.sign t.keypair req else req in
-  Hashtbl.replace t.pending ts { request = req; repliers = []; retx = 0 };
+  Hashtbl.replace t.pending ts
+    { request = req; repliers = []; retx = 0; not_before = Time_ns.zero };
   send_request t req;
-  if t.retransmit then arm_retx t ts ~delay:t.retx_base
+  if t.retransmit then arm_retx t ts ~delay:(jittered t t.retx_base)
 
-let drain_backlog t =
+and drain_backlog t =
   while t.backlog > 0 && window_has_room t do
     t.backlog <- t.backlog - 1;
     submit_now t
   done
 
-let submit_next t =
-  if window_has_room t then submit_now t else t.backlog <- t.backlog + 1
-
-let advance_floor t =
+and advance_floor t =
   while t.floor < t.next_ts && not (Hashtbl.mem t.pending t.floor) do
     t.floor <- t.floor + 1
   done;
   drain_backlog t
+
+let submit_next t =
+  if window_has_room t then submit_now t else t.backlog <- t.backlog + 1
 
 let handle_reply t ~src ~ts =
   match Hashtbl.find_opt t.pending ts with
@@ -199,6 +248,15 @@ let on_message t ~src msg =
   match msg with
   | Proto.Message.Reply { req_id; _ } ->
       if req_id.Proto.Request.client = t.id then handle_reply t ~src ~ts:req_id.Proto.Request.ts
+  | Proto.Message.Busy { req_id; retry_after; shed = _ } ->
+      if req_id.Proto.Request.client = t.id then begin
+        match Hashtbl.find_opt t.pending req_id.Proto.Request.ts with
+        | None -> ()
+        | Some p ->
+            t.pushback_count <- t.pushback_count + 1;
+            let floor = Time_ns.add (Engine.now t.engine) retry_after in
+            if floor > p.not_before then p.not_before <- floor
+      end
   | Proto.Message.Bucket_update { epoch; bucket_leaders } ->
       handle_bucket_update t ~src ~epoch ~bucket_leaders
   | _ -> ()

@@ -28,6 +28,9 @@ val create :
   ?retransmit:bool ->
   ?retx_base:Sim.Time_ns.span ->
   ?retx_max:Sim.Time_ns.span ->
+  ?jitter:float ->
+  ?retry_budget:int ->
+  ?on_give_up:(Proto.Request.t -> unit) ->
   ?on_complete:(Proto.Request.t -> latency:Sim.Time_ns.span -> unit) ->
   unit ->
   t
@@ -37,7 +40,20 @@ val create :
     retransmission of unconfirmed requests; [retx_base] is the first retry
     delay (default: a quarter of the epoch-change timeout, at least 1 s)
     and [retx_max] the backoff ceiling (default: twice the epoch-change
-    timeout). *)
+    timeout).
+
+    [jitter] scales every backoff delay by a uniform factor in
+    [1-jitter, 1+jitter] drawn from the client's own seeded RNG, so clients
+    with identical backoff parameters don't retransmit in lockstep (0.25 is
+    a good value; overload deployments should set it).  The default 0.0
+    draws no randomness and keeps exact legacy timing — existing
+    deterministic schedules are pinned to it.
+
+    [retry_budget] (default unlimited) bounds retransmissions per request:
+    once spent, the client abandons the request (unblocking its watermark
+    window) and reports it through [on_give_up].  A [Busy] pushback from a
+    node defers the next retransmission to the server-suggested time
+    without consuming budget. *)
 
 val on_message : t -> src:int -> Proto.Message.t -> unit
 
@@ -54,3 +70,9 @@ val completed : t -> int
 
 val retransmissions : t -> int
 (** Total retransmissions sent (backoff timer firings). *)
+
+val gave_up : t -> int
+(** Requests abandoned after exhausting their retry budget. *)
+
+val pushbacks_received : t -> int
+(** [Busy] pushback messages accepted for a pending request. *)

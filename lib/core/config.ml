@@ -7,6 +7,8 @@ type leader_policy_kind =
   | Fixed of Proto.Ids.node_id list
   | Straggler_aware
 
+type shed_policy = Reject_new | Drop_oldest
+
 type t = {
   protocol : protocol;
   n : int;
@@ -27,6 +29,11 @@ type t = {
   cpu_parallelism : int;
   strict_validation : bool;
   log_retention_epochs : int;
+  flow_control : bool;
+  bucket_capacity : int;
+  shed_policy : shed_policy;
+  pushback_watermark : float;
+  pushback_hint : Sim.Time_ns.span;
 }
 
 let num_buckets t = t.buckets_per_leader * t.n
@@ -57,6 +64,11 @@ let base ~n ~protocol =
     cpu_parallelism = 32;
     strict_validation = true;
     log_retention_epochs = 4;
+    flow_control = false;
+    bucket_capacity = 4096;
+    shed_policy = Reject_new;
+    pushback_watermark = 0.75;
+    pushback_hint = Sim.Time_ns.ms 500;
   }
 
 (* Table 1 presets. *)
@@ -106,6 +118,10 @@ let validate t =
   else if t.log_retention_epochs <= 0 then fail "log_retention_epochs must be positive"
   else if (match t.batch_rate with Some r -> r <= 0.0 | None -> false) then
     fail "batch_rate must be positive when set"
+  else if t.bucket_capacity <= 0 then fail "bucket_capacity must be positive"
+  else if t.pushback_watermark <= 0.0 || t.pushback_watermark > 1.0 then
+    fail "pushback_watermark must be in (0, 1] (got %g)" t.pushback_watermark
+  else if t.pushback_hint <= 0 then fail "pushback_hint must be positive"
   else begin
     match t.leader_policy with
     | Fixed [] -> fail "Fixed leader policy needs at least one leader"
@@ -115,6 +131,8 @@ let validate t =
   end
 
 let protocol_name = function PBFT -> "PBFT" | HotStuff -> "HotStuff" | Raft -> "Raft"
+
+let shed_policy_name = function Reject_new -> "reject-new" | Drop_oldest -> "drop-oldest"
 
 let policy_name = function
   | Simple -> "SIMPLE"
@@ -127,7 +145,8 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>protocol: %s@,n: %d@,policy: %s@,buckets/leader: %d@,max batch: \
      %d@,batch rate: %s@,batch timeout: [%a, %a]@,min epoch length: %d@,min \
-     segment size: %d@,epoch change timeout: %a@,client signatures: %s@]"
+     segment size: %d@,epoch change timeout: %a@,client signatures: %s@,flow \
+     control: %s@]"
     (protocol_name t.protocol) t.n
     (policy_name t.leader_policy)
     t.buckets_per_leader t.max_batch_size
@@ -135,3 +154,7 @@ let pp fmt t =
     Sim.Time_ns.pp t.min_batch_timeout Sim.Time_ns.pp t.max_batch_timeout t.min_epoch_length
     t.min_segment_size Sim.Time_ns.pp t.epoch_change_timeout
     (if t.client_signatures then "256-bit ECDSA (simulated)" else "none")
+    (if t.flow_control then
+       Printf.sprintf "on (cap=%d, %s, watermark=%.2f)" t.bucket_capacity
+         (shed_policy_name t.shed_policy) t.pushback_watermark
+     else "off")

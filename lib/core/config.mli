@@ -20,6 +20,12 @@ type leader_policy_kind =
           leaders ship full ones) — evidence that, unlike timing, is derived
           from the log and therefore identical at every correct node. *)
 
+type shed_policy =
+  | Reject_new  (** a full bucket refuses the incoming request *)
+  | Drop_oldest
+      (** a full bucket evicts its oldest unordered request to admit the
+          incoming one (freshness over fairness) *)
+
 type t = {
   protocol : protocol;
   n : int;  (** number of nodes *)
@@ -62,6 +68,22 @@ type t = {
           Bounds log memory in long runs; must cover the longest expected
           recovery lag, since pruned epochs can no longer be served to a
           catching-up peer via state transfer. *)
+  flow_control : bool;
+      (** Master switch for ingress admission control (default [false]).
+          When off, every flow-control code path is skipped entirely so the
+          simulation is bit-identical to a build without the feature —
+          conformance fingerprints pin this. *)
+  bucket_capacity : int;
+      (** Maximum unordered requests a single bucket queue holds before the
+          node sheds ([flow_control] only). *)
+  shed_policy : shed_policy;  (** What to do when a bucket is full. *)
+  pushback_watermark : float;
+      (** Occupancy fraction of [bucket_capacity] at which the node starts
+          sending advisory [Busy] pushback (before it actually sheds);
+          in (0, 1]. *)
+  pushback_hint : Sim.Time_ns.span;
+      (** Base server-suggested backoff carried in [Busy] replies.  Scaled
+          up with occupancy; doubled when the request was actually shed. *)
 }
 
 val num_buckets : t -> int
@@ -86,3 +108,4 @@ val validate : t -> (unit, string) result
 val pp : Format.formatter -> t -> unit
 val protocol_name : protocol -> string
 val policy_name : leader_policy_kind -> string
+val shed_policy_name : shed_policy -> string

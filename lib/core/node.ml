@@ -70,6 +70,11 @@ type t = {
   mutable auth_failures : int;
       (* messages dropped at ingress because their authenticator failed —
          the Byzantine Corrupt_sig attack surfaces here *)
+  mutable shed_count : int;
+      (* requests dropped by flow-control admission (reject-new refusals
+         plus drop-oldest evictions) *)
+  mutable pushback_count : int;
+      (* Busy pushback notifications issued, advisory and shedding alike *)
   mutable halted : bool;
   mutable straggler : bool;
   mutable st_target : int;  (* rotating state-transfer target *)
@@ -87,6 +92,12 @@ and hooks = {
     bucket_leaders:Proto.Ids.node_id array ->
     unit;
   epoch_gate : (t -> epoch:int -> (unit -> unit) -> unit) option;
+  on_pushback : (t -> Proto.Request.t -> retry_after:Time_ns.span -> shed:bool -> unit) option;
+      (* Fired whenever the node would send a Busy pushback for a request:
+         [shed = true] means the request was dropped (refused at admission,
+         or evicted by drop-oldest), [shed = false] is the advisory
+         watermark warning.  The cluster harness uses it to route pushback
+         to modeled clients, which have no wire channel of their own. *)
 }
 
 let default_hooks =
@@ -96,6 +107,7 @@ let default_hooks =
     on_duplicate = None;
     on_epoch_start = (fun _ ~epoch:_ ~leaders:_ ~bucket_leaders:_ -> ());
     epoch_gate = None;
+    on_pushback = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -108,6 +120,8 @@ let log t = t.log
 let is_halted t = t.halted
 let delivered_count t = t.locally_delivered
 let auth_failures t = t.auth_failures
+let shed_count t = t.shed_count
+let pushback_count t = t.pushback_count
 let epoch_leaders t = t.epoch.e_leaders
 let bucket_leader t ~bucket = t.epoch.e_bucket_leaders.(bucket)
 let set_straggler t b = t.straggler <- b
@@ -242,6 +256,36 @@ let request_acceptable t (r : Proto.Request.t) =
      back-pressure check; the dedup above stays on in both modes. *)
   && ((not t.config.Config.strict_validation) || Watermarks.valid t.watermarks r.id)
 
+(* Flow-control pushback: count it, notify the harness hook.  The wire-level
+   Busy reply is sent by whoever wired the node to real clients (the node
+   itself has no channel back to the modeled workload). *)
+let note_pushback t (r : Proto.Request.t) ~retry_after ~shed =
+  if shed then t.shed_count <- t.shed_count + 1;
+  t.pushback_count <- t.pushback_count + 1;
+  match t.hooks.on_pushback with Some f -> f t r ~retry_after ~shed | None -> ()
+
+(* Admission control (flow_control only).  Returns whether [r] may be added
+   to [q]; sheds — the incoming request (Reject_new) or the oldest queued
+   one (Drop_oldest) — when the bucket is at capacity.  A request already
+   present is always "admitted": Bucket_queue.add is a no-op for it, and
+   shedding a retransmission's victim would punish an unrelated request. *)
+let admit_request t q (r : Proto.Request.t) =
+  let cfg = t.config in
+  (not cfg.Config.flow_control)
+  || Bucket_queue.length q < cfg.Config.bucket_capacity
+  || Bucket_queue.mem q r.Proto.Request.id
+  ||
+  let shed_hint = 2 * cfg.Config.pushback_hint in
+  match cfg.Config.shed_policy with
+  | Config.Reject_new ->
+      note_pushback t r ~retry_after:shed_hint ~shed:true;
+      false
+  | Config.Drop_oldest ->
+      Array.iter
+        (fun victim -> note_pushback t victim ~retry_after:shed_hint ~shed:true)
+        (Bucket_queue.cut q ~max:1);
+      true
+
 let rec submit t (r : Proto.Request.t) =
   if t.halted then ()
   else if Watermarks.delivered t.watermarks r.id then begin
@@ -253,22 +297,36 @@ let rec submit t (r : Proto.Request.t) =
   else if request_acceptable t r then begin
     let key = Proto.Request.id_key r.id in
     let bucket = Proto.Request.bucket_of_id ~num_buckets:(Config.num_buckets t.config) r.id in
-    let seq =
-      match Hashtbl.find_opt t.arrival_seq key with
-      | Some s -> s  (* retransmission: keep the original arrival order *)
-      | None ->
-          let s = t.arrival_counter in
-          t.arrival_counter <- s + 1;
-          Hashtbl.replace t.arrival_seq key s;
-          s
-    in
-    if Bucket_queue.add t.buckets.(bucket) ~seq r then begin
-      trace_event t Obs.Tracer.Enqueue r;
-      if t.config.Config.client_signatures then
-        charge_cpu_sync t Iss_crypto.Signature.verify_cost_ns;
-      match t.bucket_batcher.(bucket) with
-      | Some b -> try_cut t b
-      | None -> ()
+    let q = t.buckets.(bucket) in
+    if admit_request t q r then begin
+      let seq =
+        match Hashtbl.find_opt t.arrival_seq key with
+        | Some s -> s  (* retransmission: keep the original arrival order *)
+        | None ->
+            let s = t.arrival_counter in
+            t.arrival_counter <- s + 1;
+            Hashtbl.replace t.arrival_seq key s;
+            s
+      in
+      if Bucket_queue.add q ~seq r then begin
+        trace_event t Obs.Tracer.Enqueue r;
+        if t.config.Config.client_signatures then
+          charge_cpu_sync t Iss_crypto.Signature.verify_cost_ns;
+        if t.config.Config.flow_control then begin
+          (* Watermark backpressure: warn the client before shedding starts,
+             with a hint that grows as the bucket fills. *)
+          let occ = Bucket_queue.length q in
+          let cap = t.config.Config.bucket_capacity in
+          if float_of_int occ >= t.config.Config.pushback_watermark *. float_of_int cap
+          then
+            note_pushback t r
+              ~retry_after:(max 1 (t.config.Config.pushback_hint * occ / cap))
+              ~shed:false
+        end;
+        match t.bucket_batcher.(bucket) with
+        | Some b -> try_cut t b
+        | None -> ()
+      end
     end
   end
 
@@ -461,11 +519,17 @@ let resurrect t (batch : Proto.Batch.t) =
       let key = Proto.Request.id_key r.id in
       if not (Watermarks.delivered t.watermarks r.id) then begin
         let bucket = Proto.Request.bucket_of_id ~num_buckets:(Config.num_buckets t.config) r.id in
-        let seq =
-          match Hashtbl.find_opt t.arrival_seq key with Some s -> s | None -> t.arrival_counter
-        in
-        Bucket_queue.resurrect t.buckets.(bucket) ~seq r;
-        match t.bucket_batcher.(bucket) with Some b -> try_cut t b | None -> ()
+        let q = t.buckets.(bucket) in
+        (* Resurrection goes through the same admission gate as submit, so
+           bounded occupancy stays a structural invariant even when an
+           aborted batch returns while the bucket has refilled. *)
+        if admit_request t q r then begin
+          let seq =
+            match Hashtbl.find_opt t.arrival_seq key with Some s -> s | None -> t.arrival_counter
+          in
+          Bucket_queue.resurrect q ~seq r;
+          match t.bucket_batcher.(bucket) with Some b -> try_cut t b | None -> ()
+        end
       end)
     batch
 
@@ -1049,8 +1113,8 @@ and handle_message t ~src msg =
            instances stop making progress, view changes fill its slots with
            ⊥, and the leader policy bans it on that log evidence. *)
         t.auth_failures <- t.auth_failures + 1
-    | Proto.Message.Reply _ | Proto.Message.Bucket_update _ | Proto.Message.Fd_heartbeat
-    | Proto.Message.Mir_epoch_change _ ->
+    | Proto.Message.Reply _ | Proto.Message.Busy _ | Proto.Message.Bucket_update _
+    | Proto.Message.Fd_heartbeat | Proto.Message.Mir_epoch_change _ ->
         ()
   end
 
@@ -1124,6 +1188,8 @@ let create ~config ~id ~engine ~send:raw_send ~orderer_factory ?(hooks = default
       req_cum = 0;
       locally_delivered = 0;
       auth_failures = 0;
+      shed_count = 0;
+      pushback_count = 0;
       halted = false;
       straggler = false;
       st_target = 0;

@@ -38,6 +38,14 @@ type hooks = {
       (** When set, epoch [e > 0] only starts once the gate invokes the
           continuation — the hook the Mir-BFT model uses to stall epoch
           transitions behind an epoch primary.  [None]: start immediately. *)
+  on_pushback :
+    (t -> Proto.Request.t -> retry_after:Sim.Time_ns.span -> shed:bool -> unit) option;
+      (** Fired when flow control pushes back on a request ([Busy] on the
+          wire): [shed = true] means the request was dropped at admission
+          (or evicted by the drop-oldest policy), [shed = false] is the
+          advisory watermark warning — the request is still queued.
+          [retry_after] is the server-suggested backoff floor.  The runner
+          routes this to modeled clients, which have no wire channel. *)
 }
 
 val default_hooks : hooks
@@ -121,6 +129,14 @@ val auth_failures : t -> int
 (** Messages dropped at ingress because their authenticator failed
     verification ({!Proto.Message.Garbled}) — evidence of a Byzantine
     sender on an authenticated channel. *)
+
+val shed_count : t -> int
+(** Requests this node's flow control dropped (reject-new refusals plus
+    drop-oldest evictions).  Always 0 when [flow_control] is off. *)
+
+val pushback_count : t -> int
+(** [Busy] pushback notifications this node issued, advisory and shedding
+    alike.  Always 0 when [flow_control] is off. *)
 
 val last_stable_checkpoint : t -> Proto.Message.checkpoint_cert option
 val epoch_leaders : t -> Proto.Ids.node_id array

@@ -29,6 +29,12 @@ module Orderer = struct
     view_changes : (int, (int, Msg.view_change) Hashtbl.t) Hashtbl.t;
         (* new_view -> sender -> vc *)
     mutable highest_vc_sent : int;
+    mutable last_nv : (int * Msg.body) option;
+        (* NEW-VIEW already broadcast for this view: late view changes
+           trigger an identical re-send, never a recomputed one.  A primary
+           that recomputed could equivocate against itself — certificates
+           that surface after the first broadcast would flip ⊥-filled slots
+           to a value half the cluster already voted ⊥ on. *)
   }
 
   let primary t view = (t.seg.Core.Segment.leader + view) mod t.n
@@ -67,6 +73,7 @@ module Orderer = struct
       completed = 0;
       view_changes = Hashtbl.create 4;
       highest_vc_sent = 0;
+      last_nv = None;
     }
 
   let broadcast_pbft t body =
@@ -183,7 +190,10 @@ module Orderer = struct
 
   let try_announce t s =
     match s.accepted with
-    | Some (view, proposal) when not s.announced ->
+    (* Same view gate as [try_commit]: commit votes of a view this replica
+       abandoned must not reach an announce quorum here while the rest of
+       the cluster commits the new view's replacement value. *)
+    | Some (view, proposal) when view = t.view && not s.announced ->
         let digest = Proposal.digest proposal in
         let commits =
           Hashtbl.fold
@@ -222,7 +232,14 @@ module Orderer = struct
 
   let try_commit t s =
     match s.accepted with
-    | Some (view, proposal) when s.prepared = None || fst (Option.get s.prepared) < view ->
+    (* [view = t.view]: once this replica demanded a view change it must
+       stop forming prepared certificates in the abandoned view — its
+       VIEW-CHANGE message already told the next primary it had prepared
+       nothing here, and a certificate formed after that fact is invisible
+       to the new-view quorum intersection (the classic split-brain:
+       old-view commits racing a ⊥-filling NEW-VIEW). *)
+    | Some (view, proposal)
+      when view = t.view && (s.prepared = None || fst (Option.get s.prepared) < view) ->
         let digest = Proposal.digest proposal in
         let prepares =
           Hashtbl.fold
@@ -333,6 +350,12 @@ module Orderer = struct
 
   let maybe_become_leader t new_view =
     if primary t new_view = t.ctx.Core.Orderer_intf.node && t.active then begin
+      match t.last_nv with
+      | Some (v, body) when v = new_view ->
+          (* Re-send the cached NEW-VIEW verbatim for stragglers whose view
+             changes arrived after the quorum formed. *)
+          broadcast_pbft t body
+      | Some _ | None -> (
       match Hashtbl.find_opt t.view_changes new_view with
       | None -> ()
       | Some senders ->
@@ -377,9 +400,11 @@ module Orderer = struct
                      | None -> (sn, Proposal.Nil))
             in
             t.view <- new_view;
-            broadcast_pbft t (Msg.New_view { view = new_view; view_changes = vcs; preprepares });
+            let body = Msg.New_view { view = new_view; view_changes = vcs; preprepares } in
+            t.last_nv <- Some (new_view, body);
+            broadcast_pbft t body;
             arm_vc_timer t
-          end
+          end)
     end
 
   let handle_view_change t ~src vc =

@@ -16,6 +16,7 @@ type checkpoint_cert = {
 type t =
   | Request_msg of Request.t
   | Reply of { req_id : Request.id; sn : int; replier : Ids.node_id }
+  | Busy of { req_id : Request.id; retry_after : Sim.Time_ns.span; shed : bool }
   | Bucket_update of { epoch : int; bucket_leaders : Ids.node_id array }
   | Checkpoint_msg of {
       epoch : int;
@@ -46,6 +47,7 @@ let cert_size cert =
 let rec wire_size = function
   | Request_msg r -> Request.wire_size r
   | Reply _ -> 32
+  | Busy _ -> 32
   | Bucket_update { bucket_leaders; _ } -> 16 + (Array.length bucket_leaders * 4)
   | Checkpoint_msg { policy; _ } ->
       32 + Iss_crypto.Hash.size + String.length policy + Iss_crypto.Signature.wire_size
@@ -64,6 +66,10 @@ let rec pp fmt = function
   | Request_msg r -> Format.fprintf fmt "request%a" Request.pp_id r.id
   | Reply { req_id; sn; replier } ->
       Format.fprintf fmt "reply%a@sn%d from n%d" Request.pp_id req_id sn replier
+  | Busy { req_id; retry_after; shed } ->
+      Format.fprintf fmt "busy%a retry-after %a%s" Request.pp_id req_id Sim.Time_ns.pp
+        retry_after
+        (if shed then " (shed)" else "")
   | Bucket_update { epoch; _ } -> Format.fprintf fmt "bucket-update(e%d)" epoch
   | Checkpoint_msg { epoch; max_sn; signer; _ } ->
       Format.fprintf fmt "checkpoint(e%d,sn%d) from n%d" epoch max_sn signer

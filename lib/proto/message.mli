@@ -25,6 +25,12 @@ type t =
   | Request_msg of Request.t  (** client → node *)
   | Reply of { req_id : Request.id; sn : int; replier : Ids.node_id }
       (** node → client; the client waits for f+1 matching replies *)
+  | Busy of { req_id : Request.id; retry_after : Sim.Time_ns.span; shed : bool }
+      (** node → client pushback: the node's ingress is saturated.
+          [retry_after] is a server-suggested backoff floor; [shed] tells
+          the client whether the request was actually dropped (it must
+          retransmit to be ordered) or merely advised to slow down (the
+          request is still queued). *)
   | Bucket_update of { epoch : int; bucket_leaders : Ids.node_id array }
       (** node → client at epoch transitions: who leads each bucket
           (paper §4.3 leader detection) *)

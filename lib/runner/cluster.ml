@@ -56,6 +56,13 @@ type t = {
   mutable delivery_observer :
     (node:int -> sn:int -> first_request_sn:int -> Proto.Batch.t -> unit) option;
   mutable submission_observer : (Proto.Request.t -> unit) option;
+  mutable gave_up : int;
+      (* requests whose client (modeled or real) exhausted its retry budget *)
+  gave_up_ids : (int, unit) Hashtbl.t;
+      (* id keys of given-up requests: the liveness check treats "explicitly
+         gave up" as a legal terminal state alongside "delivered" *)
+  mutable shed_observer : (node:int -> shed:bool -> Proto.Request.t -> unit) option;
+  mutable give_up_observer : (Proto.Request.t -> unit) option;
 }
 
 let engine t = t.engine
@@ -84,6 +91,24 @@ let byzantine_count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc
 
 let set_delivery_observer t f = t.delivery_observer <- Some f
 let set_submission_observer t f = t.submission_observer <- Some f
+let set_shed_observer t f = t.shed_observer <- Some f
+let set_give_up_observer t f = t.give_up_observer <- Some f
+
+let gave_up_count t = t.gave_up
+
+let shed_total t =
+  Array.fold_left (fun acc node -> acc + Core.Node.shed_count node) 0 t.nodes
+
+let pushback_total t =
+  Array.fold_left (fun acc node -> acc + Core.Node.pushback_count node) 0 t.nodes
+
+let note_gave_up t (r : Proto.Request.t) =
+  let key = Proto.Request.id_key r.Proto.Request.id in
+  if not (Hashtbl.mem t.gave_up_ids key) then begin
+    t.gave_up <- t.gave_up + 1;
+    Hashtbl.replace t.gave_up_ids key ();
+    match t.give_up_observer with Some f -> f r | None -> ()
+  end
 
 let note_submitted t (req : Proto.Request.t) =
   t.submitted <- t.submitted + 1;
@@ -131,6 +156,7 @@ let register_metrics reg t =
       Engine.events_executed t.engine);
   Obs.Registry.counter reg ~name:"cluster.submitted" (fun () -> t.submitted);
   Obs.Registry.counter reg ~name:"cluster.delivered_quorum" (fun () -> t.delivered_quorum);
+  Obs.Registry.counter reg ~name:"cluster.gave_up" (fun () -> t.gave_up);
   Obs.Registry.histogram reg ~name:"cluster.latency_s" t.latencies;
   Array.iteri
     (fun id node ->
@@ -152,6 +178,10 @@ let register_metrics reg t =
           Core.Node.delivered_count node);
       Obs.Registry.counter reg ~node:id ~name:"node.auth_failures" (fun () ->
           Core.Node.auth_failures node);
+      Obs.Registry.counter reg ~node:id ~name:"node.flow.shed" (fun () ->
+          Core.Node.shed_count node);
+      Obs.Registry.counter reg ~node:id ~name:"node.flow.pushback" (fun () ->
+          Core.Node.pushback_count node);
       Obs.Registry.gauge reg ~node:id ~name:"node.nic.tx_backlog_s" (fun () ->
           Time_ns.to_sec_f
             (Sim.Network.nic_backlog t.net ~endpoint:id ~dir:`Tx ~peer:Sim.Network.Node));
@@ -197,6 +227,10 @@ let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~s
       tracer;
       delivery_observer = None;
       submission_observer = None;
+      gave_up = 0;
+      gave_up_ids = Hashtbl.create 256;
+      shed_observer = None;
+      give_up_observer = None;
     }
   in
   (* Measurement hook: when the [reply_quorum]-th node's delivery frontier
@@ -310,10 +344,35 @@ let create ?engine ?policy ?(tweak = fun c -> c) ?tracer ?registry ~system ~n ~s
                  ~timeout:config.Core.Config.epoch_change_timeout))
     | Iss _ | Single _ -> None
   in
+  (* Flow-control pushback routing.  Modeled clients have no network
+     endpoint, so the node-side hook stands in for the wire-level [Busy]
+     reply: it feeds the overload counters, the online delivered-then-shed
+     invariant, and whatever observer the conformance harness installs.
+     When flow control is off the node never fires it, keeping the honest
+     path untouched. *)
+  let on_pushback node (r : Proto.Request.t) ~retry_after:_ ~shed =
+    let node_id = Core.Node.id node in
+    (if shed then
+       match t.invariants with
+       | Some inv when not t.byzantine.(node_id) ->
+           if Hashtbl.mem inv.inv_per_node.(node_id) (Proto.Request.id_key r.Proto.Request.id)
+           then
+             raise
+               (Invariant_violation
+                  (Printf.sprintf
+                     "DELIVERED-THEN-SHED contradiction at t=%.3fs: node %d shed request \
+                      (client %d, ts %d) it had already delivered"
+                     (Time_ns.to_sec_f (Engine.now t.engine))
+                     node_id r.Proto.Request.id.Proto.Request.client
+                     r.Proto.Request.id.Proto.Request.ts))
+       | Some _ | None -> ());
+    match t.shed_observer with Some f -> f ~node:node_id ~shed r | None -> ()
+  in
   let hooks =
     {
       Core.Node.default_hooks with
       on_batch_deliver;
+      on_pushback = Some on_pushback;
       epoch_gate =
         (match mir_gates with
         | Some gates -> Some (fun node ~epoch k -> Mirbft.epoch_gate gates.(Core.Node.id node) ~epoch k)
@@ -420,6 +479,10 @@ let enable_delivery_tracking t = t.track_delivered_ids <- true
 let request_delivered t (r : Proto.Request.t) =
   Hashtbl.mem t.delivered_ids (Proto.Request.id_key r.id)
 
+let request_terminal t ~client ~ts =
+  let key = Proto.Request.id_key { Proto.Request.client; ts } in
+  Hashtbl.mem t.delivered_ids key || Hashtbl.mem t.gave_up_ids key
+
 (* ------------------------------------------------------------------ *)
 (* Invariant checking *)
 
@@ -444,7 +507,12 @@ let check_liveness t =
       let n_missing = ref 0 in
       Hashtbl.iter
         (fun key r ->
-          if not (Hashtbl.mem t.delivered_ids key) then begin
+          (* "Explicitly gave up" is a legal terminal state under overload:
+             the client spent its retry budget and reported the request
+             abandoned.  Anything else undelivered is a violation. *)
+          if
+            (not (Hashtbl.mem t.delivered_ids key)) && not (Hashtbl.mem t.gave_up_ids key)
+          then begin
             incr n_missing;
             if !n_missing <= 10 then missing := r :: !missing
           end)
@@ -454,11 +522,12 @@ let check_liveness t =
         Buffer.add_string b
           (Printf.sprintf
              "LIVENESS violation at t=%.3fs: %d of %d submitted requests never reached their \
-              reply quorum of %d nodes after all faults healed.  First missing requests:"
+              reply quorum of %d nodes after all faults healed (%d explicitly gave up).  \
+              First missing requests:"
              (Time_ns.to_sec_f (Engine.now t.engine))
              !n_missing
              (Hashtbl.length inv.inv_submitted)
-             t.reply_quorum);
+             t.reply_quorum t.gave_up);
         List.iter
           (fun (r : Proto.Request.t) ->
             Buffer.add_string b

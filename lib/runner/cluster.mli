@@ -103,8 +103,37 @@ val invariants_enabled : t -> bool
 
 val check_liveness : t -> unit
 (** Raises {!Invariant_violation} listing the first missing requests if any
-    submitted request has not reached its reply quorum.  Call after the
-    engine has run past all faults plus a recovery bound. *)
+    submitted request has neither reached its reply quorum nor explicitly
+    given up its retry budget ({!note_gave_up}).  Call after the engine has
+    run past all faults plus a recovery bound. *)
+
+(** {2 Overload accounting (flow control)} *)
+
+val note_gave_up : t -> Proto.Request.t -> unit
+(** Record that a client exhausted its retry budget for this request and
+    abandoned it.  Idempotent per request.  The liveness check accepts
+    given-up requests as terminal; the give-up observer fires once. *)
+
+val gave_up_count : t -> int
+(** Requests explicitly abandoned via {!note_gave_up}. *)
+
+val shed_total : t -> int
+(** Requests shed by flow-control admission, summed over all nodes. *)
+
+val pushback_total : t -> int
+(** Pushback notifications issued (advisory and shedding), summed over all
+    nodes. *)
+
+val set_shed_observer : t -> (node:int -> shed:bool -> Proto.Request.t -> unit) -> unit
+(** Install a hook fired on every node-side pushback event: [shed = true]
+    for an actual drop (admission refusal or drop-oldest eviction),
+    [shed = false] for the advisory watermark warning.  The conformance
+    harness records shed events through this; at most one observer.  Fires
+    only when [flow_control] is enabled. *)
+
+val set_give_up_observer : t -> (Proto.Request.t -> unit) -> unit
+(** Install a hook fired once per request abandoned via {!note_gave_up};
+    at most one observer. *)
 
 (** {2 Measurement} *)
 
@@ -151,3 +180,9 @@ val enable_delivery_tracking : t -> unit
 
 val request_delivered : t -> Proto.Request.t -> bool
 (** Only meaningful after {!enable_delivery_tracking}. *)
+
+val request_terminal : t -> client:int -> ts:int -> bool
+(** The request reached a terminal state: delivered somewhere, or
+    explicitly given up ({!note_gave_up}).  The modeled workload's client
+    watermark gate ({!Workload.start}) keys on this.  Only meaningful
+    after {!enable_delivery_tracking}. *)

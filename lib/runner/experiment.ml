@@ -16,6 +16,9 @@ type result = {
   sim_events : int;
   net_messages : int;
   net_bytes : int;
+  shed : int;
+  pushback : int;
+  gave_up : int;
 }
 
 type fault =
@@ -24,7 +27,7 @@ type fault =
   | Straggler of int
 
 let run ?engine ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s = 5.0)
-    ?tracer ?registry ~system ~n ~rate ~duration_s ~seed () =
+    ?tracer ?registry ?shape ?retry_budget ?resubmit ~system ~n ~rate ~duration_s ~seed () =
   let cluster = Cluster.create ?engine ?policy ?tweak ?tracer ?registry ~system ~n ~seed () in
   let engine = Cluster.engine cluster in
   let until = Time_ns.of_sec_f duration_s in
@@ -48,8 +51,13 @@ let run ?engine ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s 
       Faults.apply sc cluster;
       Cluster.enable_invariants cluster);
   Cluster.start cluster;
-  (* Fault scenarios need the client resubmission mechanism of §4.3. *)
-  let resubmit = faults <> [] || Option.is_some scenario in
+  (* Fault scenarios need the client resubmission mechanism of §4.3;
+     overload runs opt in explicitly so shed requests get re-driven. *)
+  let resubmit =
+    match resubmit with
+    | Some b -> b
+    | None -> faults <> [] || Option.is_some scenario
+  in
   (* Chaos runs keep the engine (and the resubmission sweeper) going past
      the last fault's heal time plus the recovery bound, so the liveness
      check judges a healed cluster. *)
@@ -61,7 +69,8 @@ let run ?engine ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s 
         Time_ns.of_sec_f
           (Float.max duration_s (Faults.heal_s sc +. Faults.liveness_grace_s cfg))
   in
-  Workload.start ~cluster ~rate ?num_clients ~resubmit ~sweep_until:run_until ~until ();
+  Workload.start ~cluster ~rate ?num_clients ~resubmit ?shape ?retry_budget
+    ~shape_seed:seed ~sweep_until:run_until ~until ();
   Sim.Engine.run ~until:run_until engine;
   (match scenario with None -> () | Some _ -> Cluster.check_liveness cluster);
   let series = Cluster.throughput_series cluster ~until:run_until in
@@ -92,6 +101,9 @@ let run ?engine ?policy ?tweak ?(faults = []) ?scenario ?num_clients ?(warmup_s 
     sim_events = Sim.Engine.events_executed engine;
     net_messages = Sim.Network.messages_sent (Cluster.network cluster);
     net_bytes = Sim.Network.bytes_sent (Cluster.network cluster);
+    shed = Cluster.shed_total cluster;
+    pushback = Cluster.pushback_total cluster;
+    gave_up = Cluster.gave_up_count cluster;
   }
 
 (* Analytical ceilings in this simulator (see DESIGN.md): batch-rate caps
@@ -129,7 +141,9 @@ let pp_result fmt r =
     "%-14s n=%-4d offered=%9.0f req/s  tput=%9.0f req/s  \
      lat(mean/p50/p95/p99)=%6.2f/%6.2f/%6.2f/%6.2f s  delivered=%d/%d"
     r.system r.n r.offered r.throughput r.mean_latency_s r.p50_latency_s r.p95_latency_s
-    r.p99_latency_s r.delivered r.submitted
+    r.p99_latency_s r.delivered r.submitted;
+  if r.shed > 0 || r.gave_up > 0 || r.pushback > 0 then
+    Format.fprintf fmt "  shed=%d pushback=%d gave_up=%d" r.shed r.pushback r.gave_up
 
 let result_to_json ?(series = false) r =
   let open Obs.Jsonx in
@@ -149,6 +163,9 @@ let result_to_json ?(series = false) r =
       ("sim_events", Int r.sim_events);
       ("net_messages", Int r.net_messages);
       ("net_bytes", Int r.net_bytes);
+      ("shed", Int r.shed);
+      ("pushback", Int r.pushback);
+      ("gave_up", Int r.gave_up);
     ]
   in
   let extra =
@@ -157,3 +174,89 @@ let result_to_json ?(series = false) r =
     else []
   in
   Obj (base @ extra)
+
+(* Offered-load sweep across the saturation knee (EXPERIMENTS.md "Overload
+   sweep").  The swept system is a deliberately throttled 4-node ISS-PBFT —
+   batch rate 32/s × 64-request batches puts the analytical ceiling at
+   2048 req/s, low enough that a 7-point sweep finishes in seconds — with
+   flow control on, so past the knee the nodes shed instead of queueing
+   without bound. *)
+
+type sweep_point = {
+  fraction : float;  (** offered load as a multiple of the analytical ceiling *)
+  point : result;
+  goodput : float;  (** delivered req/s over the steady-state window *)
+}
+
+type sweep = {
+  ceiling : float;  (** analytical saturation estimate, req/s *)
+  sweep_points : sweep_point list;  (** in increasing offered-load order *)
+  peak_goodput : float;
+  knee_fraction : float;
+      (** highest swept fraction whose goodput stays within 5% of the peak *)
+  quick : bool;
+}
+
+let overload_tweak ?(capacity = 64) ?(policy = Core.Config.Reject_new) () c =
+  {
+    c with
+    Core.Config.max_batch_size = 64;
+    batch_rate = Some 32.0;
+    min_epoch_length = 64;
+    flow_control = true;
+    bucket_capacity = capacity;
+    shed_policy = policy;
+    strict_validation = true;
+  }
+
+let overload_ceiling = 32.0 *. 64.0
+
+let overload_sweep ?(quick = false) ?(seed = 42L) ?(n = 4) () =
+  let fractions =
+    if quick then [ 0.5; 1.0; 2.0 ] else [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0 ]
+  in
+  let duration_s = if quick then 12.0 else 25.0 in
+  let points =
+    List.map
+      (fun fraction ->
+        let r =
+          run
+            ~tweak:(overload_tweak ())
+            ~resubmit:true ~retry_budget:3 ~system:(Cluster.Iss Core.Config.PBFT) ~n
+            ~rate:(fraction *. overload_ceiling)
+            ~duration_s ~seed ()
+        in
+        { fraction; point = r; goodput = r.throughput })
+      fractions
+  in
+  let peak_goodput = List.fold_left (fun m p -> Float.max m p.goodput) 0.0 points in
+  (* The knee: the highest swept load the system still keeps up with
+     (goodput within 5% of offered).  Past it goodput should stay flat near
+     the peak — graceful degradation — rather than collapse. *)
+  let knee_fraction =
+    List.fold_left
+      (fun knee p ->
+        if p.goodput >= 0.95 *. p.point.offered then Float.max knee p.fraction else knee)
+      0.0 points
+  in
+  { ceiling = overload_ceiling; sweep_points = points; peak_goodput; knee_fraction; quick }
+
+let sweep_to_json sw =
+  let open Obs.Jsonx in
+  Obj
+    [
+      ("figure", String "overload");
+      ("system", String "iss-pbft");
+      ("ceiling_req_s", Float sw.ceiling);
+      ("peak_goodput_req_s", Float sw.peak_goodput);
+      ("knee_fraction", Float sw.knee_fraction);
+      ("quick", Bool sw.quick);
+      ( "points",
+        List
+          (List.map
+             (fun p ->
+               match result_to_json p.point with
+               | Obj fields -> Obj (("fraction", Float p.fraction) :: fields)
+               | other -> other)
+             sw.sweep_points) );
+    ]

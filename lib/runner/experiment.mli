@@ -20,6 +20,9 @@ type result = {
   sim_events : int;
   net_messages : int;  (** node-to-node messages sent *)
   net_bytes : int;  (** node-to-node bytes sent (incl. framing) *)
+  shed : int;  (** requests shed by flow-control admission, all nodes *)
+  pushback : int;  (** pushback notifications issued (advisory + shed) *)
+  gave_up : int;  (** requests whose client exhausted its retry budget *)
 }
 
 type fault =
@@ -37,6 +40,9 @@ val run :
   ?warmup_s:float ->
   ?tracer:Obs.Tracer.t ->
   ?registry:Obs.Registry.t ->
+  ?shape:Workload.shape ->
+  ?retry_budget:int ->
+  ?resubmit:bool ->
   system:Cluster.system ->
   n:int ->
   rate:float ->
@@ -54,7 +60,13 @@ val run :
     invariant checking is enabled (raising {!Cluster.Invariant_violation}
     on a safety breach), the run is extended past the schedule's heal time
     plus {!Faults.liveness_grace_s}, and liveness — every submitted request
-    delivered — is asserted at the end. *)
+    delivered — is asserted at the end.
+
+    [shape], [retry_budget] and [resubmit] pass through to
+    {!Workload.start}; [resubmit] defaults to on exactly when faults or a
+    chaos scenario are present (overload runs set it explicitly so shed
+    requests get re-driven until delivered or out of budget).  The run seed
+    doubles as the workload shape seed. *)
 
 val peak_throughput :
   ?engine:Sim.Engine.t ->
@@ -80,3 +92,41 @@ val result_to_json : ?series:bool -> result -> Obs.Jsonx.t
 (** The result as a JSON object (field names mirror the record, with units
     suffixed).  [series] additionally includes the per-second throughput
     series; off by default to keep figure files small. *)
+
+(** {2 Overload sweep (flow control)} *)
+
+type sweep_point = {
+  fraction : float;  (** offered load as a multiple of the analytical ceiling *)
+  point : result;
+  goodput : float;  (** delivered req/s over the steady-state window *)
+}
+
+type sweep = {
+  ceiling : float;  (** analytical saturation estimate, req/s *)
+  sweep_points : sweep_point list;  (** in increasing offered-load order *)
+  peak_goodput : float;
+  knee_fraction : float;
+      (** the saturation knee: highest swept fraction the system still keeps
+          up with (goodput within 5% of offered).  Past it goodput should
+          stay flat near the peak — graceful degradation, not collapse *)
+  quick : bool;
+}
+
+val overload_tweak :
+  ?capacity:int -> ?policy:Core.Config.shed_policy -> unit -> Core.Config.t -> Core.Config.t
+(** The throttled flow-control configuration the overload experiments use:
+    batch rate 32/s × 64-request batches (analytical ceiling 2048 req/s),
+    64-entry epochs, flow control on with [capacity]-request buckets
+    (default 64) and [policy] (default [Reject_new]). *)
+
+val overload_ceiling : float
+(** Analytical saturation of the {!overload_tweak} configuration, req/s. *)
+
+val overload_sweep : ?quick:bool -> ?seed:int64 -> ?n:int -> unit -> sweep
+(** Sweep offered load from well under to 2× the ceiling on a throttled
+    4-node ISS-PBFT with flow control on, modeled-client retransmission and
+    a 3-resend retry budget.  [quick] (default false) runs 3 points × 12 s
+    instead of 7 points × 25 s — the CI smoke variant. *)
+
+val sweep_to_json : sweep -> Obs.Jsonx.t
+(** The sweep as the BENCH_overload.json figure object. *)

@@ -16,11 +16,29 @@
 
     Reply traffic is charged by {!Cluster}'s delivery hook. *)
 
+type shape =
+  | Steady  (** constant offered load (the default; exact legacy behaviour) *)
+  | Flash_crowd of { at_s : float; factor : float; len_s : float }
+      (** offered load steps to [factor]× during
+          [\[at_s, at_s + len_s)] — the flash-crowd overload shape *)
+  | Hot_bucket of { skew : float }
+      (** steady aggregate rate, but each request targets the bucket drawn
+          from a Zipf([skew]) distribution over buckets (rank 1 = bucket 0),
+          concentrating load on a few bucket queues *)
+  | Ramp of { peak_factor : float }
+      (** offered load grows linearly from 0 to [peak_factor]× the nominal
+          rate at [until] — locates the saturation point within one run *)
+
+val shape_name : shape -> string
+
 val start :
   cluster:Cluster.t ->
   rate:float ->
   ?num_clients:int ->
   ?resubmit:bool ->
+  ?shape:shape ->
+  ?retry_budget:int ->
+  ?shape_seed:int64 ->
   ?sweep_until:Sim.Time_ns.t ->
   until:Sim.Time_ns.t ->
   unit ->
@@ -35,4 +53,14 @@ val start :
     request's original target may have crashed or lost the bucket.
     [sweep_until] (default [until]) lets the sweeper outlive the submission
     window — chaos runs extend it past the last fault's heal time so
-    stragglers submitted just before a crash still get re-driven. *)
+    stragglers submitted just before a crash still get re-driven.
+
+    [shape] (default [Steady]) modulates the offered load for overload
+    experiments; [shape_seed] (default 1) seeds the shape's private RNG
+    (only [Hot_bucket] draws from it).  [Steady] runs are bit-identical to
+    builds without the shape machinery.
+
+    [retry_budget] (default unlimited) bounds the sweeper's re-sends per
+    request: once a stalled request has been re-driven that many times, the
+    modeled client abandons it via {!Cluster.note_gave_up} — the explicit
+    give-up terminal state the overload invariants accept. *)
